@@ -1,0 +1,380 @@
+// Package reqlens ties the reproduction together: each benchmark
+// regenerates one table or figure of the paper's evaluation section and
+// reports the headline statistic as a benchmark metric, printing the
+// same rows/series the paper reports. Scales are trimmed to keep a full
+// `go test -bench=. -benchmem` run in minutes; `cmd/reqlens` runs the
+// full-scale versions.
+package reqlens
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"reqlens/internal/ebpf"
+	"reqlens/internal/harness"
+	"reqlens/internal/kernel"
+	"reqlens/internal/machine"
+	"reqlens/internal/netsim"
+	"reqlens/internal/sim"
+	"reqlens/internal/stats"
+	"reqlens/internal/workloads"
+)
+
+// benchOpt is the medium scale used by the figure benchmarks.
+func benchOpt() harness.ExpOptions {
+	return harness.ExpOptions{
+		MinSends:  512,
+		Estimates: 5,
+		Levels:    []float64{0.2, 0.4, 0.6, 0.8, 1.0},
+		Warmup:    time.Second,
+		OverWarm:  12 * time.Second,
+	}
+}
+
+func sweepLevels() []float64 { return []float64{0.5, 0.7, 0.85, 0.95, 1.1, 1.25} }
+
+func BenchmarkTable1SystemSpec(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = machine.TableI()
+	}
+	b.StopTimer()
+	fmt.Print(out)
+}
+
+func BenchmarkFig1SyscallStream(b *testing.B) {
+	var res harness.Fig1Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig1(workloads.DataCaching(), 0.4, 300*time.Millisecond, benchOpt())
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderFig1(res))
+	b.ReportMetric(float64(len(res.Events)), "events")
+}
+
+func BenchmarkFig2RPSCorrelation(b *testing.B) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var res harness.Fig2Result
+			for i := 0; i < b.N; i++ {
+				res = harness.Fig2(spec, benchOpt())
+			}
+			b.StopTimer()
+			fmt.Printf("Fig.2 %-22s R^2=%.4f slope=%.3f (paper: R^2 > 0.94; web-search 0.86)\n",
+				spec.Name, res.Fit.R2, res.Fit.Slope)
+			b.ReportMetric(res.Fit.R2, "R2")
+		})
+	}
+}
+
+func BenchmarkFig3SendVariance(b *testing.B) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			opt := benchOpt()
+			opt.Levels = sweepLevels()
+			var res harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				res = harness.SaturationSweep(spec, opt)
+			}
+			b.StopTimer()
+			fmt.Print(harness.RenderFig3(res))
+			b.ReportMetric(varianceKneeRatio(res), "knee_ratio")
+		})
+	}
+}
+
+// varianceKneeRatio is variance after the QoS crossing over the pre-knee
+// minimum — the paper's Fig. 3 claim holds when it exceeds 1.
+func varianceKneeRatio(res harness.SweepResult) float64 {
+	cross := res.QoSCrossIdx
+	if cross <= 0 {
+		cross = len(res.Points) - 1
+	}
+	minPre := res.Points[0].SendVarUS2
+	for _, p := range res.Points[:cross] {
+		if p.SendVarUS2 < minPre {
+			minPre = p.SendVarUS2
+		}
+	}
+	last := res.Points[len(res.Points)-1].SendVarUS2
+	if minPre == 0 {
+		return 0
+	}
+	return last / minPre
+}
+
+func BenchmarkFig4EpollDuration(b *testing.B) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			opt := benchOpt()
+			opt.Levels = sweepLevels()
+			var res harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				res = harness.SaturationSweep(spec, opt)
+			}
+			b.StopTimer()
+			fmt.Print(harness.RenderFig4(res))
+			// Slack collapse: idle poll duration over saturated poll
+			// duration (>> 1 when the Fig. 4 shape holds).
+			first := res.Points[0].PollMeanNS
+			last := res.Points[len(res.Points)-1].PollMeanNS
+			if last > 0 {
+				b.ReportMetric(first/last, "slack_collapse")
+			}
+		})
+	}
+}
+
+func BenchmarkFig5LossImpact(b *testing.B) {
+	opt := benchOpt()
+	opt.Levels = []float64{0.4, 0.6, 0.8}
+	opt.MinSends = 384
+	cfgs := []netsim.Config{{}, {Delay: 10 * time.Millisecond, Loss: 0.01}}
+	var res harness.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig5(workloads.TritonGRPC(), cfgs, opt)
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderFig5(res))
+	// p99 inflation at the mid load point vs poll-signal stability.
+	clean, lossy := res.Sweeps[0].Points[1], res.Sweeps[1].Points[1]
+	if clean.P99 > 0 {
+		b.ReportMetric(float64(lossy.P99)/float64(clean.P99), "p99_inflation")
+	}
+	if clean.PollMeanNS > 0 {
+		b.ReportMetric(lossy.PollMeanNS/clean.PollMeanNS, "poll_stability")
+	}
+}
+
+func BenchmarkTable2NetworkRobustness(b *testing.B) {
+	opt := benchOpt()
+	opt.MinSends = 384
+	opt.Estimates = 4
+	opt.Levels = []float64{0.3, 0.6, 0.9}
+	cfgs := []netsim.Config{{}, {Delay: 10 * time.Millisecond, Loss: 0.01}}
+	var rows []harness.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table2(workloads.All(), cfgs, opt)
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderTable2(rows, []string{"0ms delay 0% loss", "10ms delay 1% loss"}))
+	worst := 1.0
+	for _, r := range rows {
+		for _, v := range r.R2 {
+			if v < worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst_R2")
+}
+
+func BenchmarkOverheadOnTailLatency(b *testing.B) {
+	var rs []harness.OverheadResult
+	for i := 0; i < b.N; i++ {
+		rs = rs[:0]
+		for _, spec := range workloads.All() {
+			opt := benchOpt()
+			opt.MinSends = 384
+			rs = append(rs, harness.Overhead(spec, 0.7, opt))
+		}
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderOverhead(rs))
+	var pcts []float64
+	for _, r := range rs {
+		pcts = append(pcts, r.OverheadPct)
+	}
+	b.ReportMetric(stats.Quantile(pcts, 0.5), "median_overhead_pct")
+}
+
+func BenchmarkIOUringBlindSpot(b *testing.B) {
+	var res harness.IOUringResult
+	for i := 0; i < b.N; i++ {
+		res = harness.IOUring(0.5, benchOpt())
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderIOUring(res))
+	if res.RealRPS > 0 {
+		b.ReportMetric(res.ObsvRPS/res.RealRPS, "visibility")
+	}
+}
+
+// --- Ablations (DESIGN.md Section 5) ---
+
+// BenchmarkAblationPoissonClient reruns the Fig. 3 sweep with an
+// idealized Poisson open-loop client on a separate machine. The
+// exponential interarrival floor (var = 1/rate^2) raises the low-load
+// end of the curve (low_load_dominance reports var(lowest)/var(deepest);
+// compare against the co-located run), while the contention stalls past
+// QoS still dominate — the knee survives the client model. The main
+// experiments keep the paper's same-host container placement with paced
+// loaders for fidelity, not because the signal depends on it.
+func BenchmarkAblationPoissonClient(b *testing.B) {
+	opt := benchOpt()
+	opt.Levels = sweepLevels()
+	opt.Poisson = true
+	opt.SeparateClient = true
+	var res harness.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = harness.SaturationSweep(workloads.ImgDNN(), opt)
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderFig3(res))
+	b.ReportMetric(varianceKneeRatio(res), "knee_ratio")
+	if last := res.Points[len(res.Points)-1].SendVarUS2; last > 0 {
+		b.ReportMetric(res.Points[0].SendVarUS2/last, "low_load_dominance")
+	}
+}
+
+// BenchmarkAblationNoContention removes the application's shared lock
+// and queue maintenance: the paper's "simple application" case, where
+// the variance signal is expected to vanish (Section IV-C.1).
+func BenchmarkAblationNoContention(b *testing.B) {
+	spec := workloads.ImgDNN()
+	spec.LockShare = 0
+	spec.MaintenanceEvery = 0
+	opt := benchOpt()
+	opt.Levels = sweepLevels()
+	var res harness.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = harness.SaturationSweep(spec, opt)
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderFig3(res))
+	b.ReportMetric(varianceKneeRatio(res), "knee_ratio")
+}
+
+// BenchmarkAblationDatagramNetwork replaces in-order TCP-like delivery
+// with independent per-message delays: head-of-line blocking disappears
+// and with it most of Fig. 5's loss-driven tail inflation. Approximated
+// by zeroing the RTO down to a fast-retransmit-only link.
+func BenchmarkAblationDatagramNetwork(b *testing.B) {
+	opt := benchOpt()
+	opt.Levels = []float64{0.6}
+	opt.MinSends = 384
+	cfgs := []netsim.Config{
+		{},
+		{Delay: 10 * time.Millisecond, Loss: 0.01, RTO: 2 * time.Millisecond},
+	}
+	var res harness.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Fig5(workloads.TritonGRPC(), cfgs, opt)
+	}
+	b.StopTimer()
+	fmt.Print(harness.RenderFig5(res))
+	clean, lossy := res.Sweeps[0].Points[0], res.Sweeps[1].Points[0]
+	if clean.P99 > 0 {
+		b.ReportMetric(float64(lossy.P99)/float64(clean.P99), "p99_inflation")
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkEBPFInterpreterListing1(b *testing.B) {
+	start := ebpf.NewHashMap("start", 8, 8, 4096)
+	a := ebpf.NewAssembler()
+	a.Emit(ebpf.Mov64Reg(ebpf.R6, ebpf.R1))
+	a.Emit(ebpf.Call(ebpf.HelperGetCurrentPidTgid))
+	a.Emit(ebpf.Mov64Reg(ebpf.R7, ebpf.R0))
+	a.Emit(ebpf.LoadMem(ebpf.R3, ebpf.R6, 8, ebpf.SizeDW))
+	a.JumpImm(ebpf.JmpJNE, ebpf.R3, 232, "out")
+	a.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	a.Emit(
+		ebpf.StoreMem(ebpf.R10, -16, ebpf.R0, ebpf.SizeDW),
+		ebpf.StoreMem(ebpf.R10, -8, ebpf.R7, ebpf.SizeDW),
+	)
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, 1))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R3, -16),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(ebpf.HelperMapUpdateElem),
+	)
+	a.Label("out")
+	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	prog := ebpf.MustLoad(ebpf.ProgramSpec{
+		Name: "listing1", Insns: a.MustAssemble(),
+		Maps: map[int32]ebpf.Map{1: start}, CtxSize: 64,
+	})
+	ctx := make([]byte, 64)
+	ctx[8] = 232
+	env := &ebpf.FixedEnv{TimeNS: 1, PidTgid: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := prog.Run(ctx, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEBPFVerifier(b *testing.B) {
+	spec := ebpf.ProgramSpec{CtxSize: 64, Maps: map[int32]ebpf.Map{1: ebpf.NewHashMap("m", 8, 8, 16)}}
+	a := ebpf.NewAssembler()
+	a.Emit(ebpf.Mov64Imm(ebpf.R2, 0), ebpf.StoreMem(ebpf.R10, -8, ebpf.R2, ebpf.SizeDW))
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, 1))
+	a.Emit(ebpf.Mov64Reg(ebpf.R2, ebpf.R10), ebpf.Add64Imm(ebpf.R2, -8), ebpf.Call(ebpf.HelperMapLookupElem))
+	a.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "miss")
+	a.Emit(ebpf.LoadMem(ebpf.R0, ebpf.R0, 0, ebpf.SizeDW))
+	a.Label("miss")
+	a.Emit(ebpf.Exit())
+	spec.Insns = a.MustAssemble()
+	spec.Name = "bench"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ebpf.Load(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	env := sim.NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			env.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	env.Schedule(time.Microsecond, tick)
+	env.Run()
+}
+
+func BenchmarkKernelSyscallPath(b *testing.B) {
+	env := sim.NewEnv(1)
+	prof := machine.AMD()
+	prof.Sockets, prof.CoresPerSock, prof.ThreadsPerCore = 1, 2, 1
+	k := kernel.New(env, prof)
+	p := k.NewProcess("bench")
+	done := false
+	p.SpawnThread("w", func(t *kernel.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Invoke(kernel.SysSendto, [6]uint64{}, func() int64 { return 0 })
+		}
+		done = true
+	})
+	b.ResetTimer()
+	env.Run()
+	if !done {
+		b.Fatal("thread did not finish")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := stats.NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 1))
+	}
+	if h.Count() == 0 {
+		b.Fatal("no samples")
+	}
+}

@@ -1,0 +1,182 @@
+// Command reqlens regenerates the paper's tables and figures from the
+// simulated substrate. Each subcommand corresponds to one artifact of
+// the evaluation section:
+//
+//	reqlens table1                      # Table I: system specification
+//	reqlens fig1  [-workload W]         # syscall stream phases
+//	reqlens fig2  [-workload W] [flags] # RPS correlation + residuals
+//	reqlens fig3  [-workload W] [flags] # send-delta variance knee
+//	reqlens fig4  [-workload W] [flags] # epoll-duration slack signal
+//	reqlens fig5  [flags]               # Triton-gRPC loss impact
+//	reqlens table2 [flags]              # R^2 under netem configs
+//	reqlens overhead [flags]            # probe cost on tail latency
+//	reqlens iouring [flags]             # Section V-C blind spot
+//	reqlens all   [flags]               # everything above
+//
+// -quick shrinks windows/levels for a fast smoke run; -workload selects
+// one workload (default: all nine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reqlens/internal/harness"
+	"reqlens/internal/machine"
+	"reqlens/internal/netsim"
+	"reqlens/internal/workloads"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|all> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced scale for a fast smoke run")
+	name := fs.String("workload", "", "single workload name (default: all)")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	intel := fs.Bool("intel", false, "use the Intel Xeon profile instead of AMD")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+
+	opt := harness.ExpOptions{Seed: *seed}
+	if *quick {
+		opt = harness.Quick()
+		opt.Seed = *seed
+	}
+	if *intel {
+		opt.Profile = machine.Intel()
+	}
+
+	specs := workloads.All()
+	if *name != "" {
+		s, ok := workloads.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+			os.Exit(2)
+		}
+		specs = []workloads.Spec{s}
+	}
+
+	switch cmd {
+	case "table1":
+		fmt.Print(machine.TableI())
+	case "fig1":
+		runFig1(specs[min(5, len(specs)-1)], opt)
+	case "fig2":
+		for _, s := range specs {
+			res := harness.Fig2(s, opt)
+			fmt.Print(harness.RenderFig2(res))
+			fmt.Println()
+		}
+	case "fig3", "fig4":
+		o := sweepOptions(opt, *quick)
+		for _, s := range specs {
+			res := harness.SaturationSweep(s, o)
+			if cmd == "fig3" {
+				fmt.Print(harness.RenderFig3(res))
+			} else {
+				fmt.Print(harness.RenderFig4(res))
+			}
+			fmt.Println()
+		}
+	case "fig5":
+		runFig5(opt, *quick)
+	case "table2":
+		runTable2(specs, opt)
+	case "overhead":
+		runOverhead(specs, opt)
+	case "iouring":
+		fmt.Print(harness.RenderIOUring(harness.IOUring(0.6, opt)))
+	case "all":
+		fmt.Print(machine.TableI())
+		fmt.Println()
+		runFig1(workloads.DataCaching(), opt)
+		for _, s := range specs {
+			fmt.Print(harness.RenderFig2(harness.Fig2(s, opt)))
+			fmt.Println()
+		}
+		o := sweepOptions(opt, *quick)
+		for _, s := range specs {
+			res := harness.SaturationSweep(s, o)
+			fmt.Print(harness.RenderFig3(res))
+			fmt.Print(harness.RenderFig4(res))
+			fmt.Println()
+		}
+		runFig5(opt, *quick)
+		runTable2(specs, opt)
+		runOverhead(specs, opt)
+		fmt.Print(harness.RenderIOUring(harness.IOUring(0.6, opt)))
+	default:
+		usage()
+	}
+}
+
+// sweepOptions widens the load range past saturation for the Fig. 3/4
+// sweeps.
+func sweepOptions(opt harness.ExpOptions, quick bool) harness.ExpOptions {
+	if quick {
+		opt.Levels = []float64{0.5, 0.8, 1.0, 1.15}
+	} else {
+		opt.Levels = []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.2, 1.3}
+	}
+	return opt
+}
+
+func runFig1(spec workloads.Spec, opt harness.ExpOptions) {
+	capture := 2 * time.Second
+	if opt.MinSends > 0 && opt.MinSends < 2048 { // quick mode
+		capture = 300 * time.Millisecond
+	}
+	fmt.Printf("workload: %s\n", spec)
+	fmt.Print(harness.RenderFig1(harness.Fig1(spec, 0.5, capture, opt)))
+	fmt.Println()
+}
+
+// netemConfigs are the paper's two Table II network settings.
+func netemConfigs() ([]netsim.Config, []string) {
+	return []netsim.Config{
+		{},
+		{Delay: 10 * time.Millisecond, Loss: 0.01},
+	}, []string{"0ms / 0% loss", "10ms / 1% loss"}
+}
+
+func runTable2(specs []workloads.Spec, opt harness.ExpOptions) {
+	cfgs, names := netemConfigs()
+	rows := harness.Table2(specs, cfgs, opt)
+	fmt.Print(harness.RenderTable2(rows, names))
+	fmt.Println()
+}
+
+func runFig5(opt harness.ExpOptions, quick bool) {
+	o := sweepOptions(opt, quick)
+	cfgs, _ := netemConfigs()
+	res := harness.Fig5(workloads.TritonGRPC(), cfgs, o)
+	fmt.Print(harness.RenderFig5(res))
+	fmt.Println()
+}
+
+func runOverhead(specs []workloads.Spec, opt harness.ExpOptions) {
+	var rs []harness.OverheadResult
+	for _, s := range specs {
+		rs = append(rs, harness.Overhead(s, 0.7, opt))
+	}
+	fmt.Print(harness.RenderOverhead(rs))
+	fmt.Println()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+// Netem robustness: the Fig. 5 story as a runnable program.
+//
+// The same Triton-gRPC inference service runs twice: over a clean link
+// and over a 10ms / 1%-loss link. Packet loss wrecks the tail latency
+// the client perceives, but every syscall-derived signal — RPS_obsv,
+// the delta variance, the epoll duration — barely moves, because the
+// server-side syscalls already happened by the time the network drops
+// the packet.
+//
+//	go run ./examples/netem-robustness
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"reqlens/internal/harness"
+	"reqlens/internal/netsim"
+	"reqlens/internal/workloads"
+)
+
+func run(name string, cfg netsim.Config) {
+	spec := workloads.TritonGRPC()
+	rig := harness.NewRig(spec, harness.RigOptions{
+		Seed:   11,
+		Rate:   0.6 * spec.FailureRPS,
+		Netem:  cfg,
+		Probes: true,
+	})
+	rig.Warmup(20 * time.Second) // low RPS: wide warmup for stable stats
+	m := rig.Measure(60 * time.Second)
+	rig.Close()
+
+	fmt.Printf("%-18s | p99 %12v | p50 %12v | RPS_obsv %6.1f | epoll %10v | var %8.0f us2\n",
+		name,
+		m.Load.P99.Round(time.Millisecond),
+		m.Load.P50.Round(time.Millisecond),
+		m.RPSObsv,
+		time.Duration(m.PollMeanNS).Round(time.Microsecond),
+		m.SendVarUS2)
+}
+
+func main() {
+	fmt.Println("Triton-gRPC at 60% load under two network configurations:")
+	fmt.Println()
+	run("clean link", netsim.Config{})
+	run("10ms + 1% loss", netsim.Config{Delay: 10 * time.Millisecond, Loss: 0.01})
+	fmt.Println()
+	fmt.Println("Client-perceived tail latency degrades markedly under loss; the")
+	fmt.Println("in-kernel signals stay put (Table II / Fig. 5): saturation metrics are")
+	fmt.Println("robust to network effects, but they cannot substitute for failure")
+	fmt.Println("detection when the network itself is the problem (Section V-A).")
+}

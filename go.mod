@@ -1,0 +1,3 @@
+module reqlens
+
+go 1.22

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// SaturationDetector implements the paper's Section IV-C.1 strategy: an
+// "unexpected rise" in the variance of send/recv inter-syscall deltas
+// signals saturation-induced QoS risk. The detector keeps a rolling
+// history of recent windows and alarms when the current variance exceeds
+// Factor times the history median. Alarmed windows are not folded into
+// the history, so a sustained overload cannot normalize itself away.
+type SaturationDetector struct {
+	Factor  float64 // alarm threshold multiplier (e.g. 4)
+	History int     // baseline window count (e.g. 16)
+
+	hist []float64
+}
+
+// NewSaturationDetector returns a detector with the given threshold
+// multiplier and baseline history length.
+func NewSaturationDetector(factor float64, history int) *SaturationDetector {
+	if factor <= 1 {
+		factor = 4
+	}
+	if history <= 0 {
+		history = 16
+	}
+	return &SaturationDetector{Factor: factor, History: history}
+}
+
+// Baseline returns the current history median, or 0 while warming up.
+func (d *SaturationDetector) Baseline() float64 {
+	if len(d.hist) == 0 {
+		return 0
+	}
+	s := make([]float64, len(d.hist))
+	copy(s, d.hist)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Warm reports whether the baseline history is full.
+func (d *SaturationDetector) Warm() bool { return len(d.hist) >= d.History }
+
+// Observe folds one window's variance and reports whether it indicates
+// saturation. The first History windows only build the baseline.
+func (d *SaturationDetector) Observe(varianceUS2 float64) bool {
+	if math.IsNaN(varianceUS2) || varianceUS2 < 0 {
+		return false
+	}
+	if !d.Warm() {
+		d.hist = append(d.hist, varianceUS2)
+		return false
+	}
+	if varianceUS2 > d.Factor*d.Baseline() {
+		return true // do not absorb the anomaly into the baseline
+	}
+	d.hist = append(d.hist[1:], varianceUS2)
+	return false
+}
+
+// SlackEstimator implements Section IV-C.2: the mean duration of poll
+// syscalls measures idleness; normalized against the largest observed
+// idle duration it yields a saturation slack in [0,1] — 1 means fully
+// idle, ~0 means the application is at its saturation point.
+type SlackEstimator struct {
+	// Floor is the poll duration treated as zero slack (defaults to
+	// 50us: pure dispatch latency with data already queued).
+	Floor time.Duration
+
+	maxSeen time.Duration
+}
+
+// NewSlackEstimator returns an estimator with the default floor.
+func NewSlackEstimator() *SlackEstimator {
+	return &SlackEstimator{Floor: 50 * time.Microsecond}
+}
+
+// Observe folds one window's mean poll duration and returns the current
+// slack estimate in [0,1].
+func (s *SlackEstimator) Observe(meanPoll time.Duration) float64 {
+	if meanPoll > s.maxSeen {
+		s.maxSeen = meanPoll
+	}
+	return s.Slack(meanPoll)
+}
+
+// Slack converts a poll duration to a slack fraction against the
+// observed idle maximum.
+func (s *SlackEstimator) Slack(meanPoll time.Duration) float64 {
+	if s.maxSeen <= s.Floor {
+		return 1
+	}
+	v := float64(meanPoll-s.Floor) / float64(s.maxSeen-s.Floor)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// MaxIdle returns the largest mean poll duration observed (the idle
+// reference).
+func (s *SlackEstimator) MaxIdle() time.Duration { return s.maxSeen }

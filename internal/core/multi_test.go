@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/machine"
+	"reqlens/internal/netsim"
+	"reqlens/internal/sim"
+	"reqlens/internal/workloads"
+)
+
+func TestAttachStagesValidation(t *testing.T) {
+	_, k := rig()
+	if _, err := AttachStages(k, nil); err == nil {
+		t.Fatal("empty stages should fail")
+	}
+	if _, err := AttachStages(k, map[string]Config{"bad": {TGID: 1}}); err == nil {
+		t.Fatal("invalid stage config should fail")
+	}
+}
+
+func TestMultiObserverOnWebSearch(t *testing.T) {
+	env := sim.NewEnv(33)
+	prof := machine.AMD()
+	prof.Sockets, prof.CoresPerSock, prof.ThreadsPerCore = 1, workloads.ServerCores, 1
+	k := kernel.New(env, prof)
+	n := netsim.New(env)
+	spec := workloads.WebSearch()
+	srv := workloads.Launch(k, n, spec, netsim.Config{})
+
+	// The two stages: client-facing front-end and the index backend.
+	// Web Search's processes are front (client-facing) and index.
+	procs := k.Processes()
+	if len(procs) < 2 {
+		t.Fatalf("expected 2 processes, got %d", len(procs))
+	}
+	stageCfg := func(tgid int) Config {
+		return Config{
+			TGID:         tgid,
+			SendSyscalls: []int{spec.SendNR},
+			RecvSyscalls: []int{spec.RecvNR},
+			PollSyscalls: []int{spec.PollNR},
+		}
+	}
+	mo, err := AttachStages(k, map[string]Config{
+		"front": stageCfg(srv.Process().TGID()),
+		"index": stageCfg(procs[1].TGID()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mo.Detach()
+
+	// Drive it directly with a small client.
+	cl := newTestClient(k, n, srv, 0.5*spec.FailureRPS, spec)
+	_ = cl
+	env.RunFor(time.Second)
+	mo.Sample() // rebase
+	env.RunFor(2 * time.Second)
+	w := mo.Sample()
+
+	if len(w.Stages) != 2 {
+		t.Fatalf("stages = %d", len(w.Stages))
+	}
+	front, ok := w.Stage("front")
+	if !ok {
+		t.Fatal("front stage missing")
+	}
+	index, ok := w.Stage("index")
+	if !ok {
+		t.Fatal("index stage missing")
+	}
+	if front.Send.Calls == 0 || index.Send.Calls == 0 {
+		t.Fatalf("stages saw no traffic: front=%d index=%d", front.Send.Calls, index.Send.Calls)
+	}
+	// The index does ~90% of the work, so it is the less idle stage.
+	if got := w.BottleneckStage(); got != "index" {
+		t.Fatalf("bottleneck = %q, want index (front=%v index=%v)",
+			got, front.Poll.MeanDuration, index.Poll.MeanDuration)
+	}
+	if w.MinPollDuration() != index.Poll.MeanDuration {
+		t.Fatal("MinPollDuration should be the index stage's")
+	}
+}
+
+// newTestClient wires a lightweight loadgen without importing it into
+// core's public deps (test-only shim).
+func newTestClient(k *kernel.Kernel, n *netsim.Network, srv workloads.Server, rate float64, spec workloads.Spec) *kernel.Process {
+	proc := k.NewProcess("client")
+	for c := 0; c < 16; c++ {
+		proc.SpawnThread("conn", func(t *kernel.Thread) {
+			s := srv.Listener().Dial(t)
+			gap := time.Duration(float64(time.Second) / (rate / 16))
+			id := uint64(0)
+			for {
+				id++
+				s.Send(t, kernel.SysSendto, &netsim.Message{ID: id, Size: spec.ReqSize})
+				// Drain whatever responses arrived.
+				for {
+					if m, ret := s.TryRecv(t, kernel.SysRecvfrom); ret == netsim.EAGAIN || m == nil {
+						break
+					}
+				}
+				t.Sleep(gap)
+			}
+		})
+	}
+	return proc
+}

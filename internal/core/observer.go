@@ -1,0 +1,185 @@
+// Package core is the reproduction's primary contribution: a library
+// for in-kernel observability of request-level metrics of
+// latency-sensitive applications, built purely from eBPF syscall
+// tracing — no userspace cooperation from the observed application.
+//
+// An Observer attaches the paper's probe set to a process and exposes
+// windowed request-level metrics:
+//
+//   - RPSObsv — throughput estimated from send-family inter-syscall
+//     deltas (Eq. 1: RPS = 1/mean(dt_send));
+//   - send/recv delta variance (Eq. 2) — the saturation signal of Fig. 3;
+//   - mean poll (epoll_wait/select) duration — the idleness/saturation
+//     slack signal of Fig. 4.
+//
+// SaturationDetector and SlackEstimator turn those raw signals into
+// decisions a management runtime (DVFS governor, core allocator,
+// autoscaler) can act on, as motivated in Sections I and VI.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/probes"
+)
+
+// Config selects the process and syscall families to observe. The
+// syscall lists come from the application's I/O signature (Section IV-A
+// tabulates them for the paper's workloads); Defaults covers the common
+// families when the signature is unknown.
+type Config struct {
+	TGID int // process to observe (0 = everything; rarely useful)
+
+	SendSyscalls []int
+	RecvSyscalls []int
+	PollSyscalls []int
+}
+
+// Defaults returns a Config tracing the full request-oriented syscall
+// families of Section III for tgid.
+func Defaults(tgid int) Config {
+	return Config{
+		TGID:         tgid,
+		SendSyscalls: []int{kernel.SysSendto, kernel.SysSendmsg, kernel.SysWrite},
+		RecvSyscalls: []int{kernel.SysRecvfrom, kernel.SysRecvmsg, kernel.SysRead},
+		PollSyscalls: []int{kernel.SysEpollWait, kernel.SysSelect},
+	}
+}
+
+// Observer is an attached probe set with window bookkeeping.
+type Observer struct {
+	send *probes.DeltaProbe
+	recv *probes.DeltaProbe
+	poll *probes.PollProbe
+
+	k        *kernel.Kernel
+	lastSend probes.DeltaSnapshot
+	lastRecv probes.DeltaSnapshot
+	lastPoll probes.PollSnapshot
+	lastAt   time.Duration
+}
+
+// Attach builds, verifies and attaches the probe set on k's tracer.
+func Attach(k *kernel.Kernel, cfg Config) (*Observer, error) {
+	if len(cfg.SendSyscalls) == 0 || len(cfg.RecvSyscalls) == 0 || len(cfg.PollSyscalls) == 0 {
+		return nil, fmt.Errorf("core: config must name send, recv and poll syscalls")
+	}
+	send, err := probes.NewDeltaProbe("send", cfg.TGID, cfg.SendSyscalls)
+	if err != nil {
+		return nil, fmt.Errorf("core: send probe: %w", err)
+	}
+	recv, err := probes.NewDeltaProbe("recv", cfg.TGID, cfg.RecvSyscalls)
+	if err != nil {
+		return nil, fmt.Errorf("core: recv probe: %w", err)
+	}
+	poll, err := probes.NewPollProbe("poll", cfg.TGID, cfg.PollSyscalls)
+	if err != nil {
+		return nil, fmt.Errorf("core: poll probe: %w", err)
+	}
+	o := &Observer{send: send, recv: recv, poll: poll, k: k}
+	tr := k.Tracer()
+	if err := send.Attach(tr); err != nil {
+		return nil, err
+	}
+	if err := recv.Attach(tr); err != nil {
+		send.Detach()
+		return nil, err
+	}
+	if err := poll.Attach(tr); err != nil {
+		send.Detach()
+		recv.Detach()
+		return nil, err
+	}
+	o.rebase()
+	return o, nil
+}
+
+// MustAttach is Attach but panics on error.
+func MustAttach(k *kernel.Kernel, cfg Config) *Observer {
+	o, err := Attach(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Detach removes all probes.
+func (o *Observer) Detach() {
+	o.send.Detach()
+	o.recv.Detach()
+	o.poll.Detach()
+}
+
+func (o *Observer) rebase() {
+	o.lastSend = o.send.Snapshot()
+	o.lastRecv = o.recv.Snapshot()
+	o.lastPoll = o.poll.Snapshot()
+	o.lastAt = time.Duration(o.k.Now())
+}
+
+// DeltaStats summarizes one syscall family over a window.
+type DeltaStats struct {
+	Calls       uint64
+	RatePerSec  float64 // Eq. 1 estimate
+	MeanDelta   time.Duration
+	VarianceUS2 float64 // Eq. 2
+}
+
+// PollStats summarizes the poll family over a window.
+type PollStats struct {
+	Calls        uint64
+	MeanDuration time.Duration
+}
+
+// Window is one sampled observation interval.
+type Window struct {
+	Duration time.Duration
+	Send     DeltaStats
+	Recv     DeltaStats
+	Poll     PollStats
+}
+
+// RPSObsv is the headline throughput estimate (responses per second).
+func (w Window) RPSObsv() float64 { return w.Send.RatePerSec }
+
+// Sample reads all probes, returns the metrics accumulated since the
+// previous Sample (or Attach), and starts a new window.
+func (o *Observer) Sample() Window {
+	now := time.Duration(o.k.Now())
+	w := Window{Duration: now - o.lastAt}
+
+	s := o.send.Snapshot().Sub(o.lastSend)
+	w.Send = DeltaStats{
+		Calls:       s.Calls,
+		RatePerSec:  s.RateObsv(),
+		MeanDelta:   time.Duration(s.MeanDeltaNS()),
+		VarianceUS2: s.VarianceUS2(),
+	}
+	r := o.recv.Snapshot().Sub(o.lastRecv)
+	w.Recv = DeltaStats{
+		Calls:       r.Calls,
+		RatePerSec:  r.RateObsv(),
+		MeanDelta:   time.Duration(r.MeanDeltaNS()),
+		VarianceUS2: r.VarianceUS2(),
+	}
+	p := o.poll.Snapshot().Sub(o.lastPoll)
+	w.Poll = PollStats{
+		Calls:        p.Count,
+		MeanDuration: time.Duration(p.MeanNS()),
+	}
+	o.rebase()
+	return w
+}
+
+// ProbePrograms returns the verified instruction counts of the attached
+// programs (diagnostics and documentation).
+func (o *Observer) ProbePrograms() map[string]int {
+	return map[string]int{
+		"send":       o.send.Program().Len(),
+		"recv":       o.recv.Program().Len(),
+		"poll_enter": o.poll.EnterProgram().Len(),
+		"poll_exit":  o.poll.ExitProgram().Len(),
+	}
+}

@@ -1,0 +1,278 @@
+package ebpf
+
+import "fmt"
+
+// Instruction constructors. Naming follows bpf assembler conventions:
+// the 64 suffix means ALU64 class; Reg/Imm selects the source operand.
+
+// Mov64Imm: dst = imm (sign-extended to 64 bits).
+func Mov64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUMov | SrcK, Dst: dst, Imm: imm}
+}
+
+// Mov64Reg: dst = src.
+func Mov64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUMov | SrcX, Dst: dst, Src: src}
+}
+
+// Add64Imm: dst += imm.
+func Add64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUAdd | SrcK, Dst: dst, Imm: imm}
+}
+
+// Add64Reg: dst += src.
+func Add64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUAdd | SrcX, Dst: dst, Src: src}
+}
+
+// Sub64Imm: dst -= imm.
+func Sub64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUSub | SrcK, Dst: dst, Imm: imm}
+}
+
+// Sub64Reg: dst -= src.
+func Sub64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUSub | SrcX, Dst: dst, Src: src}
+}
+
+// Mul64Imm: dst *= imm.
+func Mul64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUMul | SrcK, Dst: dst, Imm: imm}
+}
+
+// Mul64Reg: dst *= src.
+func Mul64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUMul | SrcX, Dst: dst, Src: src}
+}
+
+// Div64Imm: dst /= imm (unsigned).
+func Div64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUDiv | SrcK, Dst: dst, Imm: imm}
+}
+
+// Div64Reg: dst /= src (unsigned; src==0 yields dst=0, as on Linux).
+func Div64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUDiv | SrcX, Dst: dst, Src: src}
+}
+
+// Mod64Imm: dst %= imm (unsigned).
+func Mod64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUMod | SrcK, Dst: dst, Imm: imm}
+}
+
+// And64Imm: dst &= imm.
+func And64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUAnd | SrcK, Dst: dst, Imm: imm}
+}
+
+// Or64Imm: dst |= imm.
+func Or64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUOr | SrcK, Dst: dst, Imm: imm}
+}
+
+// Xor64Reg: dst ^= src.
+func Xor64Reg(dst, src Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUXor | SrcX, Dst: dst, Src: src}
+}
+
+// Lsh64Imm: dst <<= imm.
+func Lsh64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALULsh | SrcK, Dst: dst, Imm: imm}
+}
+
+// Rsh64Imm: dst >>= imm (logical).
+func Rsh64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALURsh | SrcK, Dst: dst, Imm: imm}
+}
+
+// Arsh64Imm: dst >>= imm (arithmetic).
+func Arsh64Imm(dst Register, imm int32) Instruction {
+	return Instruction{Op: ClassALU64 | ALUArsh | SrcK, Dst: dst, Imm: imm}
+}
+
+// Neg64: dst = -dst.
+func Neg64(dst Register) Instruction {
+	return Instruction{Op: ClassALU64 | ALUNeg, Dst: dst}
+}
+
+// LoadImm64 materializes a full 64-bit constant; expands to two slots.
+func LoadImm64(dst Register, v uint64) [2]Instruction {
+	return [2]Instruction{
+		{Op: OpLdImmDW, Dst: dst, Imm: int32(uint32(v))},
+		{Imm: int32(uint32(v >> 32))},
+	}
+}
+
+// LoadMapFD materializes a map reference; expands to two slots with the
+// pseudo source marker, as the kernel loader expects.
+func LoadMapFD(dst Register, fd int32) [2]Instruction {
+	return [2]Instruction{
+		{Op: OpLdImmDW, Dst: dst, Src: PseudoMapFD, Imm: fd},
+		{},
+	}
+}
+
+// LoadMem: dst = *(size*)(src + off).
+func LoadMem(dst, src Register, off int16, size uint8) Instruction {
+	return Instruction{Op: ClassLDX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreMem: *(size*)(dst + off) = src.
+func StoreMem(dst Register, off int16, src Register, size uint8) Instruction {
+	return Instruction{Op: ClassSTX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreImm: *(size*)(dst + off) = imm.
+func StoreImm(dst Register, off int16, imm int32, size uint8) Instruction {
+	return Instruction{Op: ClassST | ModeMEM | size, Dst: dst, Off: off, Imm: imm}
+}
+
+// Ja: unconditional relative jump.
+func Ja(off int16) Instruction {
+	return Instruction{Op: ClassJMP | JmpJA, Off: off}
+}
+
+// JmpImm: conditional jump comparing dst against imm.
+func JmpImm(op uint8, dst Register, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcK, Dst: dst, Imm: imm, Off: off}
+}
+
+// JmpReg: conditional jump comparing dst against src.
+func JmpReg(op uint8, dst, src Register, off int16) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcX, Dst: dst, Src: src, Off: off}
+}
+
+// Call invokes helper id.
+func Call(id int32) Instruction {
+	return Instruction{Op: ClassJMP | JmpCall, Imm: id}
+}
+
+// Exit returns from the program with R0 as the result.
+func Exit() Instruction {
+	return Instruction{Op: ClassJMP | JmpExit}
+}
+
+// Assembler builds instruction streams with symbolic labels so probe
+// programs can be written without hand-computing jump offsets.
+//
+//	a := NewAssembler()
+//	a.Emit(Mov64Imm(R0, 0))
+//	a.JumpImm(JmpJEQ, R1, 0, "miss")
+//	...
+//	a.Label("miss")
+//	a.Emit(Exit())
+//	prog, err := a.Assemble()
+type Assembler struct {
+	insns  []Instruction
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int)}
+}
+
+// Emit appends instructions verbatim.
+func (a *Assembler) Emit(ins ...Instruction) *Assembler {
+	a.insns = append(a.insns, ins...)
+	return a
+}
+
+// EmitWide appends a two-slot pair from LoadImm64/LoadMapFD.
+func (a *Assembler) EmitWide(pair [2]Instruction) *Assembler {
+	a.insns = append(a.insns, pair[0], pair[1])
+	return a
+}
+
+// Label binds name to the next emitted instruction. Duplicate labels are
+// reported by Assemble.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.err = fmt.Errorf("ebpf: duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = len(a.insns)
+	return a
+}
+
+// JumpImm emits a conditional jump to a label, comparing dst with imm.
+func (a *Assembler) JumpImm(op uint8, dst Register, imm int32, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{pc: len(a.insns), label: label})
+	a.insns = append(a.insns, JmpImm(op, dst, imm, 0))
+	return a
+}
+
+// JumpReg emits a conditional jump to a label, comparing dst with src.
+func (a *Assembler) JumpReg(op uint8, dst, src Register, label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{pc: len(a.insns), label: label})
+	a.insns = append(a.insns, JmpReg(op, dst, src, 0))
+	return a
+}
+
+// Jump emits an unconditional jump to a label.
+func (a *Assembler) Jump(label string) *Assembler {
+	a.fixups = append(a.fixups, fixup{pc: len(a.insns), label: label})
+	a.insns = append(a.insns, Ja(0))
+	return a
+}
+
+// Assemble resolves labels and returns the instruction stream.
+func (a *Assembler) Assemble() ([]Instruction, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	out := make([]Instruction, len(a.insns))
+	copy(out, a.insns)
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("ebpf: undefined label %q", f.label)
+		}
+		rel := target - f.pc - 1
+		if rel > 0x7fff || rel < -0x8000 {
+			return nil, fmt.Errorf("ebpf: jump to %q out of 16-bit range", f.label)
+		}
+		out[f.pc].Off = int16(rel)
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble but panics on error; for statically-known
+// programs constructed at init time.
+func (a *Assembler) MustAssemble() []Instruction {
+	insns, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return insns
+}
+
+// AtomicAdd64: *(u64*)(dst + off) += src, atomically (BPF_XADD). The
+// bread-and-butter of counting probes: hash/array map counters updated
+// concurrently from every CPU.
+func AtomicAdd64(dst Register, off int16, src Register) Instruction {
+	return Instruction{Op: ClassSTX | ModeAtomic | SizeDW, Dst: dst, Src: src, Off: off, Imm: AtomicAdd}
+}
+
+// AtomicAdd32: *(u32*)(dst + off) += src, atomically.
+func AtomicAdd32(dst Register, off int16, src Register) Instruction {
+	return Instruction{Op: ClassSTX | ModeAtomic | SizeW, Dst: dst, Src: src, Off: off, Imm: AtomicAdd}
+}
+
+// JmpImm32 / JmpReg32 build 32-bit conditional jumps (JMP32 class):
+// the comparison reads only the low 32 bits of the operands.
+func JmpImm32(op uint8, dst Register, imm int32, off int16) Instruction {
+	return Instruction{Op: ClassJMP32 | op | SrcK, Dst: dst, Imm: imm, Off: off}
+}
+
+// JmpReg32 is JmpImm32 with a register source.
+func JmpReg32(op uint8, dst, src Register, off int16) Instruction {
+	return Instruction{Op: ClassJMP32 | op | SrcX, Dst: dst, Src: src, Off: off}
+}

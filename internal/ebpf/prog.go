@@ -1,0 +1,95 @@
+package ebpf
+
+import "fmt"
+
+// ProgramSpec describes a program before loading: its instruction stream,
+// the maps referenced by file descriptor, and the size of the context
+// struct it will be attached against (the verifier bounds all R1-relative
+// reads by it).
+type ProgramSpec struct {
+	Name    string
+	Insns   []Instruction
+	Maps    map[int32]Map
+	CtxSize int
+}
+
+// Program is a verified, loaded eBPF program.
+type Program struct {
+	name    string
+	insns   []Instruction
+	maps    map[int32]Map
+	ctxSize int
+	runs    uint64
+}
+
+// Load verifies and loads a program. It fails exactly when the verifier
+// rejects the instruction stream.
+func Load(spec ProgramSpec) (*Program, error) {
+	if spec.CtxSize < 0 {
+		return nil, fmt.Errorf("ebpf: negative ctx size")
+	}
+	maps := spec.Maps
+	if maps == nil {
+		maps = map[int32]Map{}
+	}
+	if err := verify(spec.Insns, maps, spec.CtxSize); err != nil {
+		return nil, fmt.Errorf("ebpf: load %q: %w", spec.Name, err)
+	}
+	insns := make([]Instruction, len(spec.Insns))
+	copy(insns, spec.Insns)
+	return &Program{name: spec.Name, insns: insns, maps: maps, ctxSize: spec.CtxSize}, nil
+}
+
+// MustLoad is Load but panics on error, for statically-known programs.
+func MustLoad(spec ProgramSpec) *Program {
+	p, err := Load(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// Len returns the instruction count (slots).
+func (p *Program) Len() int { return len(p.insns) }
+
+// CtxSize returns the context size the program was verified against.
+func (p *Program) CtxSize() int { return p.ctxSize }
+
+// Runs returns how many times the program has executed.
+func (p *Program) Runs() uint64 { return p.runs }
+
+// Map returns the map loaded at fd, or nil.
+func (p *Program) Map(fd int32) Map { return p.maps[fd] }
+
+// Disassemble renders the loaded program.
+func (p *Program) Disassemble() string { return Disassemble(p.insns) }
+
+// Run executes the program once against ctx. The context length must
+// match the spec's CtxSize. The returned RunStats lets the caller charge
+// execution cost to the traced thread.
+func (p *Program) Run(ctx []byte, env HelperEnv) (uint64, RunStats, error) {
+	if len(ctx) != p.ctxSize {
+		return 0, RunStats{}, fmt.Errorf("ebpf: run %q: ctx size %d, verified for %d", p.name, len(ctx), p.ctxSize)
+	}
+	p.runs++
+	return p.run(ctx, env)
+}
+
+// FixedEnv is a HelperEnv with fixed values, for tests and offline runs.
+type FixedEnv struct {
+	TimeNS  uint64
+	PidTgid uint64
+	CPU     uint32
+}
+
+// KtimeGetNS returns the fixed time.
+func (f *FixedEnv) KtimeGetNS() uint64 { return f.TimeNS }
+
+// CurrentPidTgid returns the fixed pid/tgid pair.
+func (f *FixedEnv) CurrentPidTgid() uint64 { return f.PidTgid }
+
+// SMPProcessorID returns the fixed CPU number.
+func (f *FixedEnv) SMPProcessorID() uint32 { return f.CPU }

@@ -1,0 +1,517 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadErr loads a program with a default 64-byte ctx and returns the error.
+func loadErr(t *testing.T, insns []Instruction, maps map[int32]Map) error {
+	t.Helper()
+	_, err := Load(ProgramSpec{Name: "test", Insns: insns, Maps: maps, CtxSize: 64})
+	return err
+}
+
+func wantReject(t *testing.T, insns []Instruction, maps map[int32]Map, substr string) {
+	t.Helper()
+	err := loadErr(t, insns, maps)
+	if err == nil {
+		t.Fatalf("verifier accepted bad program (want %q)", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func wantAccept(t *testing.T, insns []Instruction, maps map[int32]Map) *Program {
+	t.Helper()
+	p, err := Load(ProgramSpec{Name: "test", Insns: insns, Maps: maps, CtxSize: 64})
+	if err != nil {
+		t.Fatalf("verifier rejected good program: %v", err)
+	}
+	return p
+}
+
+func TestVerifierAcceptsMinimal(t *testing.T) {
+	wantAccept(t, []Instruction{Mov64Imm(R0, 0), Exit()}, nil)
+}
+
+func TestVerifierRejectsEmpty(t *testing.T) {
+	wantReject(t, nil, nil, "empty program")
+}
+
+func TestVerifierRejectsTooLong(t *testing.T) {
+	insns := make([]Instruction, MaxInstructions+1)
+	for i := range insns {
+		insns[i] = Mov64Imm(R0, 0)
+	}
+	insns[len(insns)-1] = Exit()
+	wantReject(t, insns, nil, "too long")
+}
+
+func TestVerifierRejectsUninitR0AtExit(t *testing.T) {
+	wantReject(t, []Instruction{Exit()}, nil, "R0")
+}
+
+func TestVerifierRejectsUninitRegisterRead(t *testing.T) {
+	wantReject(t, []Instruction{
+		Mov64Reg(R0, R5), // R5 never written
+		Exit(),
+	}, nil, "uninitialized register r5")
+}
+
+func TestVerifierRejectsFallOffEnd(t *testing.T) {
+	wantReject(t, []Instruction{Mov64Imm(R0, 0)}, nil, "falls off the end")
+}
+
+func TestVerifierRejectsBackEdge(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(Mov64Imm(R0, 0))
+	a.Label("top")
+	a.Emit(Add64Imm(R0, 1))
+	a.JumpImm(JmpJLT, R0, 10, "top")
+	a.Emit(Exit())
+	wantReject(t, a.MustAssemble(), nil, "back-edge")
+}
+
+func TestVerifierRejectsInfiniteJa(t *testing.T) {
+	wantReject(t, []Instruction{Ja(-1)}, nil, "back-edge")
+}
+
+func TestVerifierRejectsJumpOutOfRange(t *testing.T) {
+	wantReject(t, []Instruction{
+		Mov64Imm(R0, 0),
+		JmpImm(JmpJEQ, R0, 0, 100),
+		Exit(),
+	}, nil, "out of range")
+}
+
+func TestVerifierRejectsWriteToR10(t *testing.T) {
+	wantReject(t, []Instruction{Mov64Imm(R10, 0), Exit()}, nil, "frame pointer")
+}
+
+func TestVerifierRejectsDivByZeroImm(t *testing.T) {
+	wantReject(t, []Instruction{
+		Mov64Imm(R0, 10),
+		Div64Imm(R0, 0),
+		Exit(),
+	}, nil, "division by zero")
+	wantReject(t, []Instruction{
+		Mov64Imm(R0, 10),
+		Mod64Imm(R0, 0),
+		Exit(),
+	}, nil, "division by zero")
+}
+
+func TestVerifierRejectsUnknownHelper(t *testing.T) {
+	wantReject(t, []Instruction{
+		Call(9999),
+		Exit(),
+	}, nil, "unknown helper")
+}
+
+func TestVerifierRejectsTruncatedWideLoad(t *testing.T) {
+	pair := LoadImm64(R1, 1)
+	wantReject(t, []Instruction{pair[0]}, nil, "truncated lddw")
+}
+
+func TestVerifierRejectsJumpIntoWideLoad(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(Mov64Imm(R0, 0))
+	a.Emit(JmpImm(JmpJEQ, R0, 0, 1)) // jumps into the second lddw slot
+	pair := LoadImm64(R1, 1)
+	a.Emit(pair[0], pair[1])
+	a.Emit(Exit())
+	wantReject(t, a.MustAssemble(), nil, "middle of lddw")
+}
+
+func TestVerifierStackBounds(t *testing.T) {
+	// In-bounds store/load is fine.
+	wantAccept(t, []Instruction{
+		Mov64Imm(R2, 42),
+		StoreMem(R10, -8, R2, SizeDW),
+		LoadMem(R0, R10, -8, SizeDW),
+		Exit(),
+	}, nil)
+	// Below the frame.
+	wantReject(t, []Instruction{
+		Mov64Imm(R2, 42),
+		StoreMem(R10, -(StackSize + 8), R2, SizeDW),
+		Mov64Imm(R0, 0),
+		Exit(),
+	}, nil, "out of bounds")
+	// Above the frame pointer.
+	wantReject(t, []Instruction{
+		Mov64Imm(R2, 42),
+		StoreMem(R10, 8, R2, SizeDW),
+		Mov64Imm(R0, 0),
+		Exit(),
+	}, nil, "out of bounds")
+}
+
+func TestVerifierRejectsUninitializedStackRead(t *testing.T) {
+	wantReject(t, []Instruction{
+		LoadMem(R0, R10, -8, SizeDW),
+		Exit(),
+	}, nil, "uninitialized stack")
+}
+
+func TestVerifierRejectsPartiallyInitializedStackRead(t *testing.T) {
+	wantReject(t, []Instruction{
+		Mov64Imm(R2, 1),
+		StoreMem(R10, -8, R2, SizeW), // 4 of 8 bytes
+		LoadMem(R0, R10, -8, SizeDW), // read all 8
+		Exit(),
+	}, nil, "uninitialized stack")
+}
+
+func TestVerifierCtxBounds(t *testing.T) {
+	wantAccept(t, []Instruction{
+		LoadMem(R0, R1, 8, SizeDW), // within 64-byte ctx
+		Exit(),
+	}, nil)
+	wantReject(t, []Instruction{
+		LoadMem(R0, R1, 60, SizeDW), // crosses the end
+		Exit(),
+	}, nil, "ctx access")
+	wantReject(t, []Instruction{
+		LoadMem(R0, R1, -4, SizeW),
+		Exit(),
+	}, nil, "ctx access")
+}
+
+func TestVerifierRejectsCtxWrite(t *testing.T) {
+	wantReject(t, []Instruction{
+		Mov64Imm(R2, 1),
+		StoreMem(R1, 0, R2, SizeDW),
+		Mov64Imm(R0, 0),
+		Exit(),
+	}, nil, "read-only ctx")
+}
+
+func TestVerifierRejectsScalarDeref(t *testing.T) {
+	wantReject(t, []Instruction{
+		Mov64Imm(R2, 1234),
+		LoadMem(R0, R2, 0, SizeDW),
+		Exit(),
+	}, nil, "through scalar")
+}
+
+func mapLookupProg(nullCheck bool) []Instruction {
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Imm(R2, 0),
+		StoreMem(R10, -8, R2, SizeDW),
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8),
+	)
+	a.Emit(Call(HelperMapLookupElem))
+	if nullCheck {
+		a.JumpImm(JmpJEQ, R0, 0, "miss")
+	}
+	a.Emit(LoadMem(R0, R0, 0, SizeDW))
+	a.Label("miss")
+	a.Emit(Exit())
+	return a.MustAssemble()
+}
+
+func testMaps() map[int32]Map {
+	return map[int32]Map{1: NewHashMap("m", 8, 8, 16)}
+}
+
+func TestVerifierEnforcesNullCheck(t *testing.T) {
+	wantReject(t, mapLookupProg(false), testMaps(), "null check")
+	wantAccept(t, mapLookupProg(true), testMaps())
+}
+
+func TestVerifierRejectsArithmeticOnMaybeNull(t *testing.T) {
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Imm(R2, 0),
+		StoreMem(R10, -8, R2, SizeDW),
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8),
+		Call(HelperMapLookupElem),
+		Add64Imm(R0, 8), // arithmetic before null check
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), testMaps(), "null check")
+}
+
+func TestVerifierMapValueBounds(t *testing.T) {
+	// Access beyond the 8-byte value after a valid null check.
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Imm(R2, 0),
+		StoreMem(R10, -8, R2, SizeDW),
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8),
+		Call(HelperMapLookupElem),
+	)
+	a.JumpImm(JmpJEQ, R0, 0, "miss")
+	a.Emit(LoadMem(R0, R0, 8, SizeDW)) // off 8 in an 8-byte value
+	a.Label("miss")
+	a.Emit(Exit())
+	wantReject(t, a.MustAssemble(), testMaps(), "map value access")
+}
+
+func TestVerifierRejectsUnknownMapFD(t *testing.T) {
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 77))
+	a.Emit(Mov64Imm(R0, 0), Exit())
+	wantReject(t, a.MustAssemble(), nil, "unknown map fd")
+}
+
+func TestVerifierRejectsKeyPointerToUninitStack(t *testing.T) {
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8), // stack bytes never written
+		Call(HelperMapLookupElem),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), testMaps(), "uninitialized stack")
+}
+
+func TestVerifierRejectsScalarKeyArg(t *testing.T) {
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Imm(R2, 1234),
+		Call(HelperMapLookupElem),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), testMaps(), "must be a pointer")
+}
+
+func TestVerifierRejectsNonMapR1(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Imm(R1, 5),
+		Mov64Imm(R2, 0),
+		StoreMem(R10, -8, R2, SizeDW),
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8),
+		Call(HelperMapLookupElem),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), testMaps(), "map handle")
+}
+
+func TestVerifierCallClobbersCallerSaved(t *testing.T) {
+	// Using R1 after a call must fail: caller-saved registers are
+	// clobbered.
+	a := NewAssembler()
+	a.Emit(
+		Call(HelperKtimeGetNS),
+		Mov64Reg(R0, R1), // R1 invalid after call
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), nil, "uninitialized register r1")
+}
+
+func TestVerifierCalleeSavedSurviveCall(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R6, R1), // save ctx
+		Call(HelperKtimeGetNS),
+		LoadMem(R0, R6, 0, SizeDW), // ctx still usable via R6
+		Exit(),
+	)
+	wantAccept(t, a.MustAssemble(), nil)
+}
+
+func TestVerifierPointerSpillAndRestore(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -16),
+		StoreMem(R10, -8, R2, SizeDW), // spill stack ptr
+		LoadMem(R3, R10, -8, SizeDW),  // restore
+		Mov64Imm(R4, 7),
+		StoreMem(R3, 0, R4, SizeDW), // use restored pointer
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantAccept(t, a.MustAssemble(), nil)
+}
+
+func TestVerifierRejectsMisalignedPointerSpill(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R2, R10),
+		StoreMem(R10, -12, R2, SizeDW), // not 8-aligned
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), nil, "8-byte")
+}
+
+func TestVerifierRejectsNarrowPointerSpill(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R2, R10),
+		StoreMem(R10, -8, R2, SizeW), // 4-byte pointer store
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), nil, "spill")
+}
+
+func TestVerifierRejectsPointerArithmeticWithUnknownScalar(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		LoadMem(R2, R1, 8, SizeDW), // unknown scalar from ctx
+		Mov64Reg(R3, R10),
+		Add64Reg(R3, R2), // r3 = fp + unknown
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), nil, "unknown scalar")
+}
+
+func TestVerifierRejects32BitALUOnPointer(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Instruction{Op: ClassALU | ALUAdd | SrcK, Dst: R2, Imm: -8},
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), nil, "32-bit")
+}
+
+func TestVerifierAllowsStackPointerDifference(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -16),
+		Mov64Reg(R3, R10),
+		Mov64Reg(R0, R3),
+		Sub64Reg(R0, R2), // fp - (fp-16) = 16
+		Exit(),
+	)
+	wantAccept(t, a.MustAssemble(), nil)
+}
+
+func TestVerifierRejectsAddTwoPointers(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Mov64Reg(R3, R10),
+		Add64Reg(R2, R3),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), nil, "adding two pointers")
+}
+
+func TestVerifierRingbufChecks(t *testing.T) {
+	maps := map[int32]Map{
+		1: NewRingBuf("rb", 4096),
+		2: NewHashMap("h", 8, 8, 4),
+	}
+	good := func() []Instruction {
+		a := NewAssembler()
+		a.Emit(
+			Mov64Imm(R2, 7),
+			StoreMem(R10, -16, R2, SizeDW),
+			StoreMem(R10, -8, R2, SizeDW),
+		)
+		a.EmitWide(LoadMapFD(R1, 1))
+		a.Emit(
+			Mov64Reg(R2, R10),
+			Add64Imm(R2, -16),
+			Mov64Imm(R3, 16),
+			Mov64Imm(R4, 0),
+			Call(HelperRingbufOutput),
+			Mov64Imm(R0, 0),
+			Exit(),
+		)
+		return a.MustAssemble()
+	}
+	wantAccept(t, good(), maps)
+
+	// ringbuf_output on a hash map must fail.
+	bad := good()
+	bad[3].Imm = 2 // retarget lddw map fd (insn 3 is the wide load)
+	wantReject(t, bad, maps, "non-ringbuf")
+}
+
+func TestVerifierRingbufRejectsUnknownSize(t *testing.T) {
+	maps := map[int32]Map{1: NewRingBuf("rb", 4096)}
+	a := NewAssembler()
+	a.Emit(
+		Mov64Imm(R2, 7),
+		StoreMem(R10, -8, R2, SizeDW),
+	)
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8),
+		LoadMem(R3, R2, 0, SizeDW), // size from memory: unknown
+		Call(HelperRingbufOutput),
+		Mov64Imm(R0, 0),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), maps, "known constant")
+}
+
+func TestVerifierListingOneAccepted(t *testing.T) {
+	// The paper's Listing 1 shape: filter pid_tgid and syscall id, stamp
+	// entry time into a hash map.
+	maps := map[int32]Map{1: NewHashMap("start", 8, 8, 1024)}
+	a := NewAssembler()
+	a.Emit(Mov64Reg(R6, R1)) // save ctx
+	a.Emit(Call(HelperGetCurrentPidTgid))
+	a.Emit(Mov64Reg(R7, R0))
+	pid := LoadImm64(R2, 0x1234_0000_5678)
+	a.EmitWide(pid)
+	a.JumpReg(JmpJNE, R7, R2, "out")
+	a.Emit(LoadMem(R3, R6, 8, SizeDW)) // args->id
+	a.JumpImm(JmpJNE, R3, 232, "out")  // filter epoll_wait
+	a.Emit(Call(HelperKtimeGetNS))
+	a.Emit(
+		StoreMem(R10, -16, R0, SizeDW), // value = ts
+		StoreMem(R10, -8, R7, SizeDW),  // key = pid_tgid
+	)
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Add64Imm(R2, -8),
+		Mov64Reg(R3, R10),
+		Add64Imm(R3, -16),
+		Mov64Imm(R4, 0),
+		Call(HelperMapUpdateElem),
+	)
+	a.Label("out")
+	a.Emit(Mov64Imm(R0, 0), Exit())
+	wantAccept(t, a.MustAssemble(), maps)
+}
+
+func TestVerifierComplexityLimit(t *testing.T) {
+	// A ladder of diverging conditional branches doubles the path count
+	// at each rung; the verifier must give up rather than hang.
+	b := NewAssembler()
+	b.Emit(Mov64Imm(R0, 0))
+	for i := 0; i < 40; i++ {
+		b.Emit(
+			JmpImm(JmpJEQ, R0, int32(i), 1),
+			Add64Imm(R0, 1),
+			Add64Imm(R0, 2),
+		)
+	}
+	b.Emit(Exit())
+	err := loadErr(t, b.MustAssemble(), nil)
+	if err == nil || !strings.Contains(err.Error(), "too complex") {
+		t.Fatalf("want complexity rejection, got %v", err)
+	}
+}

@@ -1,0 +1,579 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HelperEnv supplies the ambient kernel state that helper functions read.
+// The simulated kernel implements this against virtual time and the
+// current thread; tests can supply fixtures.
+type HelperEnv interface {
+	// KtimeGetNS returns the current monotonic time in nanoseconds
+	// (bpf_ktime_get_ns).
+	KtimeGetNS() uint64
+	// CurrentPidTgid returns tgid<<32 | tid (bpf_get_current_pid_tgid).
+	CurrentPidTgid() uint64
+	// SMPProcessorID returns the current CPU (bpf_get_smp_processor_id).
+	SMPProcessorID() uint32
+}
+
+// RunStats reports the dynamic cost of one program execution, used by the
+// kernel to charge probe overhead to the traced thread.
+type RunStats struct {
+	Instructions int // instruction slots executed
+	HelperCalls  int // helper invocations
+}
+
+type regionKind uint8
+
+const (
+	regionStack regionKind = iota
+	regionCtx
+	regionMapValue
+)
+
+func (k regionKind) String() string {
+	switch k {
+	case regionStack:
+		return "stack"
+	case regionCtx:
+		return "ctx"
+	case regionMapValue:
+		return "map_value"
+	}
+	return "?"
+}
+
+// region is a bounds-checked memory area addressable by the program.
+type region struct {
+	kind     regionKind
+	data     []byte
+	readonly bool
+}
+
+// word is a register or stack slot value: a scalar, a pointer into a
+// region, or a map handle.
+type word struct {
+	scalar uint64
+	region *region
+	off    int64
+	m      Map
+}
+
+func scalarWord(v uint64) word { return word{scalar: v} }
+
+func (w word) isScalar() bool  { return w.region == nil && w.m == nil }
+func (w word) isPointer() bool { return w.region != nil }
+
+// truthy reports whether the word compares non-zero (pointers and map
+// handles are always non-zero; null lookups return scalar 0).
+func (w word) truthy() bool {
+	if w.region != nil || w.m != nil {
+		return true
+	}
+	return w.scalar != 0
+}
+
+// RuntimeError is a fault during interpretation. A verified program
+// should never produce one; it exists as defense in depth and for tests
+// that bypass the verifier.
+type RuntimeError struct {
+	PC     int
+	Reason string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("ebpf: runtime fault at pc=%d: %s", e.PC, e.Reason)
+}
+
+type vm struct {
+	prog  *Program
+	env   HelperEnv
+	regs  [NumRegisters]word
+	stack region
+	ctx   region
+	stats RunStats
+}
+
+// run interprets the program against ctx. ctx may be nil for programs
+// that never touch R1.
+func (p *Program) run(ctx []byte, env HelperEnv) (uint64, RunStats, error) {
+	m := &vm{
+		prog:  p,
+		env:   env,
+		stack: region{kind: regionStack, data: make([]byte, StackSize)},
+		ctx:   region{kind: regionCtx, data: ctx, readonly: true},
+	}
+	m.regs[R1] = word{region: &m.ctx}
+	m.regs[R10] = word{region: &m.stack, off: StackSize}
+	ret, err := m.exec()
+	return ret, m.stats, err
+}
+
+func (m *vm) fault(pc int, format string, args ...any) error {
+	return &RuntimeError{PC: pc, Reason: fmt.Sprintf(format, args...)}
+}
+
+func (m *vm) exec() (uint64, error) {
+	insns := m.prog.insns
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps > 4*MaxInstructions {
+			return 0, m.fault(pc, "instruction budget exhausted")
+		}
+		if pc < 0 || pc >= len(insns) {
+			return 0, m.fault(pc, "pc out of range")
+		}
+		in := insns[pc]
+		m.stats.Instructions++
+		switch in.Class() {
+		case ClassALU64:
+			if err := m.alu(pc, in, false); err != nil {
+				return 0, err
+			}
+			pc++
+		case ClassALU:
+			if err := m.alu(pc, in, true); err != nil {
+				return 0, err
+			}
+			pc++
+		case ClassLD:
+			if !in.IsWideLoad() || pc+1 >= len(insns) {
+				return 0, m.fault(pc, "invalid LD instruction")
+			}
+			next := insns[pc+1]
+			if in.Src == PseudoMapFD {
+				mp, ok := m.prog.maps[in.Imm]
+				if !ok {
+					return 0, m.fault(pc, "unknown map fd %d", in.Imm)
+				}
+				m.regs[in.Dst] = word{m: mp}
+			} else {
+				v := uint64(uint32(in.Imm)) | uint64(uint32(next.Imm))<<32
+				m.regs[in.Dst] = scalarWord(v)
+			}
+			m.stats.Instructions++ // second slot
+			pc += 2
+		case ClassLDX:
+			v, err := m.load(pc, m.regs[in.Src], int64(in.Off), in.Size())
+			if err != nil {
+				return 0, err
+			}
+			m.regs[in.Dst] = scalarWord(v)
+			pc++
+		case ClassSTX:
+			src := m.regs[in.Src]
+			if !src.isScalar() {
+				return 0, m.fault(pc, "storing pointer to memory is not supported")
+			}
+			if in.Op&0xe0 == ModeAtomic {
+				if err := m.atomic(pc, in, src.scalar); err != nil {
+					return 0, err
+				}
+				pc++
+				continue
+			}
+			if err := m.store(pc, m.regs[in.Dst], int64(in.Off), in.Size(), src.scalar); err != nil {
+				return 0, err
+			}
+			pc++
+		case ClassST:
+			if err := m.store(pc, m.regs[in.Dst], int64(in.Off), in.Size(), uint64(int64(in.Imm))); err != nil {
+				return 0, err
+			}
+			pc++
+		case ClassJMP32:
+			taken, err := m.branch(pc, in)
+			if err != nil {
+				return 0, err
+			}
+			if taken {
+				pc += 1 + int(in.Off)
+			} else {
+				pc++
+			}
+		case ClassJMP:
+			switch in.JmpOp() {
+			case JmpExit:
+				r0 := m.regs[R0]
+				if !r0.isScalar() {
+					return 0, m.fault(pc, "exit with non-scalar R0")
+				}
+				return r0.scalar, nil
+			case JmpCall:
+				if err := m.call(pc, in.Imm); err != nil {
+					return 0, err
+				}
+				pc++
+			case JmpJA:
+				pc += 1 + int(in.Off)
+			default:
+				taken, err := m.branch(pc, in)
+				if err != nil {
+					return 0, err
+				}
+				if taken {
+					pc += 1 + int(in.Off)
+				} else {
+					pc++
+				}
+			}
+		default:
+			return 0, m.fault(pc, "unsupported class %#x", in.Class())
+		}
+	}
+}
+
+func (m *vm) aluOperand(in Instruction) (word, bool) {
+	if in.UsesImm() {
+		return scalarWord(uint64(int64(in.Imm))), true
+	}
+	return m.regs[in.Src], false
+}
+
+func (m *vm) alu(pc int, in Instruction, is32 bool) error {
+	dst := m.regs[in.Dst]
+	src, _ := m.aluOperand(in)
+	op := in.ALUOp()
+
+	// Pointer arithmetic: only 64-bit add/sub with a scalar, or mov.
+	if dst.isPointer() || src.isPointer() {
+		if is32 {
+			return m.fault(pc, "32-bit ALU on pointer")
+		}
+		switch op {
+		case ALUMov:
+			m.regs[in.Dst] = src
+			return nil
+		case ALUAdd:
+			switch {
+			case dst.isPointer() && src.isScalar():
+				dst.off += int64(src.scalar)
+				m.regs[in.Dst] = dst
+				return nil
+			case src.isPointer() && dst.isScalar():
+				src.off += int64(dst.scalar)
+				m.regs[in.Dst] = src
+				return nil
+			}
+		case ALUSub:
+			if dst.isPointer() && src.isScalar() {
+				dst.off -= int64(src.scalar)
+				m.regs[in.Dst] = dst
+				return nil
+			}
+			if dst.isPointer() && src.isPointer() && dst.region == src.region {
+				m.regs[in.Dst] = scalarWord(uint64(dst.off - src.off))
+				return nil
+			}
+		}
+		return m.fault(pc, "invalid pointer arithmetic op=%#x", op)
+	}
+	if dst.m != nil || src.m != nil {
+		if op == ALUMov && !is32 {
+			m.regs[in.Dst] = src
+			return nil
+		}
+		return m.fault(pc, "arithmetic on map handle")
+	}
+
+	a, b := dst.scalar, src.scalar
+	if is32 {
+		a, b = uint64(uint32(a)), uint64(uint32(b))
+	}
+	var out uint64
+	switch op {
+	case ALUAdd:
+		out = a + b
+	case ALUSub:
+		out = a - b
+	case ALUMul:
+		out = a * b
+	case ALUDiv:
+		if b == 0 {
+			out = 0 // Linux semantics: div by zero yields 0
+		} else {
+			out = a / b
+		}
+	case ALUMod:
+		if b == 0 {
+			out = a // Linux semantics: mod by zero leaves dst
+		} else {
+			out = a % b
+		}
+	case ALUOr:
+		out = a | b
+	case ALUAnd:
+		out = a & b
+	case ALUXor:
+		out = a ^ b
+	case ALULsh:
+		out = a << (b & 63)
+	case ALURsh:
+		out = a >> (b & 63)
+	case ALUArsh:
+		if is32 {
+			out = uint64(uint32(int32(a) >> (b & 31)))
+		} else {
+			out = uint64(int64(a) >> (b & 63))
+		}
+	case ALUNeg:
+		out = -a
+	case ALUMov:
+		out = b
+	default:
+		return m.fault(pc, "unsupported ALU op %#x", op)
+	}
+	if is32 {
+		out = uint64(uint32(out))
+	}
+	m.regs[in.Dst] = scalarWord(out)
+	return nil
+}
+
+func (m *vm) branch(pc int, in Instruction) (bool, error) {
+	dst := m.regs[in.Dst]
+	src, _ := m.aluOperand(in)
+
+	// Pointer comparisons: only equality against zero (null checks) or
+	// same-region pointers.
+	if !dst.isScalar() || !src.isScalar() {
+		switch in.JmpOp() {
+		case JmpJEQ:
+			if src.isScalar() && src.scalar == 0 {
+				return !dst.truthy(), nil
+			}
+			if dst.isScalar() && dst.scalar == 0 {
+				return !src.truthy(), nil
+			}
+			if dst.region != nil && src.region == dst.region {
+				return dst.off == src.off, nil
+			}
+		case JmpJNE:
+			if src.isScalar() && src.scalar == 0 {
+				return dst.truthy(), nil
+			}
+			if dst.isScalar() && dst.scalar == 0 {
+				return src.truthy(), nil
+			}
+			if dst.region != nil && src.region == dst.region {
+				return dst.off != src.off, nil
+			}
+		}
+		return false, m.fault(pc, "invalid pointer comparison")
+	}
+
+	a, b := dst.scalar, src.scalar
+	if in.Class() == ClassJMP32 {
+		a, b = uint64(uint32(a)), uint64(uint32(b))
+		// Signed 32-bit comparisons sign-extend the low words.
+		switch in.JmpOp() {
+		case JmpJSGT:
+			return int32(a) > int32(b), nil
+		case JmpJSGE:
+			return int32(a) >= int32(b), nil
+		case JmpJSLT:
+			return int32(a) < int32(b), nil
+		case JmpJSLE:
+			return int32(a) <= int32(b), nil
+		}
+	}
+	switch in.JmpOp() {
+	case JmpJEQ:
+		return a == b, nil
+	case JmpJNE:
+		return a != b, nil
+	case JmpJGT:
+		return a > b, nil
+	case JmpJGE:
+		return a >= b, nil
+	case JmpJLT:
+		return a < b, nil
+	case JmpJLE:
+		return a <= b, nil
+	case JmpJSET:
+		return a&b != 0, nil
+	case JmpJSGT:
+		return int64(a) > int64(b), nil
+	case JmpJSGE:
+		return int64(a) >= int64(b), nil
+	case JmpJSLT:
+		return int64(a) < int64(b), nil
+	case JmpJSLE:
+		return int64(a) <= int64(b), nil
+	}
+	return false, m.fault(pc, "unsupported jump op %#x", in.JmpOp())
+}
+
+func (m *vm) load(pc int, base word, off int64, size int) (uint64, error) {
+	data, err := m.slice(pc, base, off, size)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint64(data[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(data)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(data)), nil
+	default:
+		return binary.LittleEndian.Uint64(data), nil
+	}
+}
+
+func (m *vm) store(pc int, base word, off int64, size int, v uint64) error {
+	if base.isPointer() && base.region.readonly {
+		return m.fault(pc, "store to read-only %s", base.region.kind)
+	}
+	data, err := m.slice(pc, base, off, size)
+	if err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		data[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(data, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(data, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(data, v)
+	}
+	return nil
+}
+
+// slice bounds-checks a memory access and returns the addressed bytes.
+// Stack accesses address downward from R10 (off is negative).
+func (m *vm) slice(pc int, base word, off int64, size int) ([]byte, error) {
+	if !base.isPointer() {
+		return nil, m.fault(pc, "memory access through non-pointer")
+	}
+	start := base.off + off
+	end := start + int64(size)
+	if start < 0 || end > int64(len(base.region.data)) {
+		return nil, m.fault(pc, "%s access [%d,%d) out of bounds [0,%d)",
+			base.region.kind, start, end, len(base.region.data))
+	}
+	return base.region.data[start:end], nil
+}
+
+// atomic executes a BPF_ATOMIC STX (currently AtomicAdd): a
+// read-modify-write on map-value or stack memory.
+func (m *vm) atomic(pc int, in Instruction, add uint64) error {
+	if in.Imm != AtomicAdd {
+		return m.fault(pc, "unsupported atomic op %#x", in.Imm)
+	}
+	size := in.Size()
+	if size != 4 && size != 8 {
+		return m.fault(pc, "atomic add requires 4- or 8-byte width")
+	}
+	base := m.regs[in.Dst]
+	if base.isPointer() && base.region.readonly {
+		return m.fault(pc, "atomic on read-only %s", base.region.kind)
+	}
+	cur, err := m.load(pc, base, int64(in.Off), size)
+	if err != nil {
+		return err
+	}
+	return m.store(pc, base, int64(in.Off), size, cur+add)
+}
+
+func (m *vm) call(pc int, id int32) error {
+	m.stats.HelperCalls++
+	r := func(reg Register) word { return m.regs[reg] }
+	setR0 := func(w word) {
+		m.regs[R0] = w
+		// R1-R5 are caller-saved and clobbered by the call.
+		for reg := R1; reg <= R5; reg++ {
+			m.regs[reg] = scalarWord(0)
+		}
+	}
+
+	switch id {
+	case HelperKtimeGetNS:
+		setR0(scalarWord(m.env.KtimeGetNS()))
+		return nil
+	case HelperGetCurrentPidTgid:
+		setR0(scalarWord(m.env.CurrentPidTgid()))
+		return nil
+	case HelperGetSMPProcID:
+		setR0(scalarWord(uint64(m.env.SMPProcessorID())))
+		return nil
+	case HelperMapLookupElem:
+		mp := r(R1).m
+		if mp == nil {
+			return m.fault(pc, "map_lookup_elem: R1 is not a map")
+		}
+		key, err := m.slice(pc, r(R2), 0, mp.KeySize())
+		if err != nil {
+			return err
+		}
+		v, ok := mp.Lookup(key)
+		if !ok {
+			setR0(scalarWord(0))
+			return nil
+		}
+		setR0(word{region: &region{kind: regionMapValue, data: v}})
+		return nil
+	case HelperMapUpdateElem:
+		mp := r(R1).m
+		if mp == nil {
+			return m.fault(pc, "map_update_elem: R1 is not a map")
+		}
+		key, err := m.slice(pc, r(R2), 0, mp.KeySize())
+		if err != nil {
+			return err
+		}
+		val, err := m.slice(pc, r(R3), 0, mp.ValueSize())
+		if err != nil {
+			return err
+		}
+		flags := r(R4)
+		if !flags.isScalar() {
+			return m.fault(pc, "map_update_elem: flags not scalar")
+		}
+		if err := mp.Update(key, val, int(flags.scalar)); err != nil {
+			setR0(scalarWord(^uint64(0))) // -EEXIST and friends collapse to -1
+			return nil
+		}
+		setR0(scalarWord(0))
+		return nil
+	case HelperMapDeleteElem:
+		mp := r(R1).m
+		if mp == nil {
+			return m.fault(pc, "map_delete_elem: R1 is not a map")
+		}
+		key, err := m.slice(pc, r(R2), 0, mp.KeySize())
+		if err != nil {
+			return err
+		}
+		if err := mp.Delete(key); err != nil {
+			setR0(scalarWord(^uint64(0)))
+			return nil
+		}
+		setR0(scalarWord(0))
+		return nil
+	case HelperRingbufOutput:
+		rb, ok := r(R1).m.(*RingBuf)
+		if !ok {
+			return m.fault(pc, "ringbuf_output: R1 is not a ringbuf")
+		}
+		size := r(R3)
+		if !size.isScalar() {
+			return m.fault(pc, "ringbuf_output: size not scalar")
+		}
+		data, err := m.slice(pc, r(R2), 0, int(size.scalar))
+		if err != nil {
+			return err
+		}
+		if rb.Output(data) {
+			setR0(scalarWord(0))
+		} else {
+			setR0(scalarWord(^uint64(0)))
+		}
+		return nil
+	}
+	return m.fault(pc, "unknown helper %d", id)
+}

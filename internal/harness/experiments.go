@@ -1,0 +1,375 @@
+package harness
+
+import (
+	"time"
+
+	"reqlens/internal/machine"
+	"reqlens/internal/netsim"
+	"reqlens/internal/probes"
+	"reqlens/internal/stats"
+	"reqlens/internal/trace"
+	"reqlens/internal/workloads"
+)
+
+// ExpOptions controls experiment scale. The zero value is paper scale;
+// Quick() shrinks everything for tests.
+type ExpOptions struct {
+	Seed           int64
+	Profile        machine.Profile // zero = AMD
+	Netem          netsim.Config
+	MinSends       int       // sends per estimation window (paper: >= 2048)
+	Estimates      int       // estimation windows per load level (paper: 10)
+	Levels         []float64 // load fractions of the paper's failure RPS
+	Warmup         time.Duration
+	OverWarm       time.Duration // extra warmup for overloaded points
+	Poisson        bool
+	SeparateClient bool
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.MinSends == 0 {
+		o.MinSends = 2048
+	}
+	if o.Estimates == 0 {
+		o.Estimates = 10
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.OverWarm == 0 {
+		o.OverWarm = 12 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Quick returns a reduced-scale configuration for unit tests.
+func Quick() ExpOptions {
+	return ExpOptions{
+		MinSends:  128,
+		Estimates: 3,
+		Levels:    []float64{0.3, 0.6, 0.9},
+		Warmup:    500 * time.Millisecond,
+		OverWarm:  time.Second,
+	}
+}
+
+// windowFor sizes a measurement window to gather at least minSends send
+// syscalls at the given rate.
+func windowFor(minSends int, rate float64) time.Duration {
+	w := time.Duration(float64(minSends) / rate * float64(time.Second) * 1.2)
+	if w < 50*time.Millisecond {
+		w = 50 * time.Millisecond
+	}
+	return w
+}
+
+// Estimate is one paired (RPS_real, RPS_obsv) estimation — one green dot
+// in the paper's Fig. 2.
+type Estimate struct {
+	Level   float64 // load fraction of failure RPS
+	RealRPS float64
+	ObsvRPS float64
+}
+
+// Fig2Result is the per-workload correlation study of Fig. 2.
+type Fig2Result struct {
+	Workload  string
+	Estimates []Estimate
+	Fit       stats.LinearFit // ObsvRPS -> RealRPS, as the paper regresses
+	Residuals []float64
+}
+
+// Fig2 runs the paper's Fig. 2 protocol for one workload: at each load
+// level, take opt.Estimates windows of >= MinSends send syscalls, pair
+// the eBPF RPS estimate (Eq. 1) with the client-reported RPS, and fit a
+// linear regression.
+func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
+	opt = opt.withDefaults()
+	res := Fig2Result{Workload: spec.Name}
+	for li, level := range opt.Levels {
+		rate := level * spec.FailureRPS
+		rig := NewRig(spec, RigOptions{
+			Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+			Rate: rate, Probes: true,
+			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		})
+		rig.Warmup(opt.Warmup)
+		win := windowFor(opt.MinSends, rate)
+		// The paper pairs each estimation window's RPS_obsv with the
+		// benchmark-reported RPS of the whole load level, so the client
+		// measures across all windows while the probe is sampled per
+		// window.
+		rig.Client.StartMeasurement()
+		obsvs := make([]float64, 0, opt.Estimates)
+		for e := 0; e < opt.Estimates; e++ {
+			rig.Env.RunFor(win)
+			w := rig.Obs.Sample()
+			obsvs = append(obsvs, w.RPSObsv())
+		}
+		real := rig.Client.Snapshot().RealRPS
+		for _, ob := range obsvs {
+			res.Estimates = append(res.Estimates, Estimate{
+				Level: level, RealRPS: real, ObsvRPS: ob,
+			})
+		}
+		rig.Close()
+	}
+	x := make([]float64, len(res.Estimates))
+	y := make([]float64, len(res.Estimates))
+	for i, e := range res.Estimates {
+		x[i] = e.ObsvRPS
+		y[i] = e.RealRPS
+	}
+	res.Fit = stats.FitLinear(x, y)
+	res.Residuals = res.Fit.Residuals(x, y)
+	return res
+}
+
+// SweepPoint is one load level of a saturation sweep (Figs. 3-5 share it).
+type SweepPoint struct {
+	Level      float64
+	RealRPS    float64
+	ObsvRPS    float64
+	SendVarUS2 float64 // Eq. 2 on send deltas
+	RecvVarUS2 float64
+	PollMeanNS float64 // mean epoll/select duration
+	P99        time.Duration
+	QoSFail    bool
+}
+
+// SweepResult is a full load sweep with the QoS crossing located.
+type SweepResult struct {
+	Workload string
+	QoS      time.Duration
+	Points   []SweepPoint
+	// QoSCrossIdx is the first point violating QoS, or -1.
+	QoSCrossIdx int
+}
+
+// SaturationSweep drives one workload across load levels and records
+// the Fig. 3 (send-delta variance) and Fig. 4 (poll duration) signals
+// against the client-observed QoS state.
+func SaturationSweep(spec workloads.Spec, opt ExpOptions) SweepResult {
+	opt = opt.withDefaults()
+	res := SweepResult{Workload: spec.Name, QoS: spec.QoS, QoSCrossIdx: -1}
+	for li, level := range opt.Levels {
+		rate := level * spec.FailureRPS
+		rig := NewRig(spec, RigOptions{
+			Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+			Rate: rate, Probes: true,
+			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		})
+		warm := opt.Warmup
+		if level >= 0.95 {
+			warm = opt.OverWarm // let overload queues accumulate
+		}
+		rig.Warmup(warm)
+		win := windowFor(opt.MinSends, rate)
+		m := rig.Measure(win)
+		rig.Close()
+		p := SweepPoint{
+			Level:      level,
+			RealRPS:    m.Load.RealRPS,
+			ObsvRPS:    m.RPSObsv,
+			SendVarUS2: m.SendVarUS2,
+			RecvVarUS2: m.RecvVarUS2,
+			PollMeanNS: m.PollMeanNS,
+			P99:        m.Load.P99,
+			QoSFail:    m.Load.P99 > spec.QoS,
+		}
+		if p.QoSFail && res.QoSCrossIdx < 0 {
+			res.QoSCrossIdx = len(res.Points)
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res
+}
+
+// Fig5Result compares tail latency and the epoll-duration signal under
+// two network configurations (Fig. 5: Triton gRPC, 0% vs 1% loss).
+type Fig5Result struct {
+	Workload string
+	Configs  []netsim.Config
+	Sweeps   []SweepResult // one per config
+}
+
+// Fig5 runs the loss-impact study.
+func Fig5(spec workloads.Spec, configs []netsim.Config, opt ExpOptions) Fig5Result {
+	res := Fig5Result{Workload: spec.Name, Configs: configs}
+	for _, cfg := range configs {
+		o := opt
+		o.Netem = cfg
+		res.Sweeps = append(res.Sweeps, SaturationSweep(spec, o))
+	}
+	return res
+}
+
+// Table2Row is one workload's R^2 under each network configuration.
+type Table2Row struct {
+	Workload string
+	R2       []float64
+}
+
+// Table2 reproduces the paper's Table II: the coefficient of
+// determination of the Fig. 2 regression under each netem configuration.
+func Table2(specs []workloads.Spec, configs []netsim.Config, opt ExpOptions) []Table2Row {
+	rows := make([]Table2Row, 0, len(specs))
+	for _, spec := range specs {
+		row := Table2Row{Workload: spec.Name}
+		for _, cfg := range configs {
+			o := opt
+			o.Netem = cfg
+			f2 := Fig2(spec, o)
+			row.R2 = append(row.R2, f2.Fit.R2)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// OverheadResult quantifies the probe cost on tail latency (Section VI).
+type OverheadResult struct {
+	Workload    string
+	Level       float64
+	P99Off      time.Duration // probes detached
+	P99On       time.Duration // probes attached
+	OverheadPct float64       // (on-off)/off * 100
+	PerSyscall  time.Duration // mean probe cost charged per traced syscall
+	// CPUSharePct is the probes' share of the server's total CPU time —
+	// the analytic bound on any latency impact, resolvable even when the
+	// p99 shift is below histogram resolution.
+	CPUSharePct float64
+}
+
+// Overhead measures the paper's Section VI claim: attach the full probe
+// set, compare client p99 against an unprobed run at the same load.
+func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult {
+	opt = opt.withDefaults()
+	rate := level * spec.FailureRPS
+	win := windowFor(4*opt.MinSends, rate)
+
+	run := func(probesOn bool) (time.Duration, time.Duration, float64) {
+		rig := NewRig(spec, RigOptions{
+			Seed: opt.Seed, Profile: opt.Profile, Netem: opt.Netem,
+			Rate: rate, Probes: probesOn,
+			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		})
+		rig.Warmup(opt.Warmup)
+		m := rig.Measure(win)
+		var per time.Duration
+		var share float64
+		if probesOn {
+			var total, cpu time.Duration
+			var calls uint64
+			for _, th := range rig.Server.Process().Threads() {
+				total += th.ProbeCost()
+				cpu += th.CPUTime()
+				calls += th.SyscallCount()
+			}
+			if calls > 0 {
+				per = total / time.Duration(calls)
+			}
+			if cpu > 0 {
+				share = 100 * float64(total) / float64(cpu)
+			}
+		}
+		rig.Close()
+		return m.Load.P99, per, share
+	}
+
+	off, _, _ := run(false)
+	on, per, share := run(true)
+	res := OverheadResult{
+		Workload: spec.Name, Level: level,
+		P99Off: off, P99On: on, PerSyscall: per, CPUSharePct: share,
+	}
+	if off > 0 {
+		res.OverheadPct = 100 * float64(on-off) / float64(off)
+	}
+	return res
+}
+
+// IOUringResult demonstrates the Section V-C blind spot: the same cache
+// workload served through io_uring produces (almost) no recv/send
+// syscalls, so Eq. 1 reads ~zero while the server is busy.
+type IOUringResult struct {
+	RealRPS     float64
+	ObsvRPS     float64 // from the send probe: should be ~0
+	PollCount   uint64  // epoll activity: should be ~0
+	IoUringRate float64 // io_uring_enter calls per second
+}
+
+// IOUring runs the blind-spot demonstration at the given load fraction.
+func IOUring(level float64, opt ExpOptions) IOUringResult {
+	opt = opt.withDefaults()
+	spec := workloads.DataCachingIOUring()
+	rate := level * spec.FailureRPS
+	rig := NewRig(spec, RigOptions{
+		Seed: opt.Seed, Rate: rate, Probes: true,
+		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+	})
+	uring := probes.MustNewDeltaProbe("uring", rig.Server.Process().TGID(),
+		[]int{kernelIoUringEnter})
+	if err := uring.Attach(rig.ServerK.Tracer()); err != nil {
+		panic(err)
+	}
+	rig.Warmup(opt.Warmup)
+	win := windowFor(opt.MinSends, rate)
+	m := rig.Measure(win)
+	u := uring.Snapshot()
+	rig.Close()
+	return IOUringResult{
+		RealRPS:     m.Load.RealRPS,
+		ObsvRPS:     m.RPSObsv,
+		PollCount:   m.Obs.Poll.Calls,
+		IoUringRate: u.RateObsv(),
+	}
+}
+
+// Fig1Result is the trace-structure study of Fig. 1: the raw stream, its
+// phase segmentation, and the request-oriented subset.
+type Fig1Result struct {
+	Events   []probes.StreamEvent
+	Segments []trace.PhaseSummary
+	Counts   map[string]uint64
+	Dropped  uint64
+}
+
+// Fig1 captures a short raw syscall stream of one workload through the
+// streaming eBPF probe and segments it into lifecycle phases.
+func Fig1(spec workloads.Spec, level float64, capture time.Duration, opt ExpOptions) Fig1Result {
+	opt = opt.withDefaults()
+	rig := NewRig(spec, RigOptions{
+		Seed: opt.Seed, Rate: level * spec.FailureRPS, Probes: false,
+		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+	})
+	sp := probes.MustNewStreamProbe("raw", rig.Server.Process().TGID(), 64<<20)
+	if err := sp.Attach(rig.ServerK.Tracer()); err != nil {
+		panic(err)
+	}
+	rig.Env.RunFor(capture)
+	evs := sp.Drain()
+	dropped := sp.Dropped()
+	rig.Close()
+
+	tev := make([]trace.Event, len(evs))
+	for i, e := range evs {
+		tev[i] = trace.Event{Time: e.Time, PidTgid: e.PidTgid, NR: e.NR, Enter: e.Enter, Ret: e.Ret}
+	}
+	return Fig1Result{
+		Events:   evs,
+		Segments: trace.Segment(tev),
+		Counts:   trace.CountByName(tev),
+		Dropped:  dropped,
+	}
+}
+
+// kernelIoUringEnter mirrors kernel.SysIoUringEnter without widening the
+// experiments' import surface.
+const kernelIoUringEnter = 426

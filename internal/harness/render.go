@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/stats"
+	"reqlens/internal/trace"
+)
+
+// asciiPlot renders y against x on a character grid. A vertical marker
+// column is drawn at markX (NaN-safe: pass -1 to omit).
+func asciiPlot(title, xlab, ylab string, xs, ys []float64, markX float64) string {
+	const w, h = 64, 14
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(xs) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(w-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= w {
+			c = w - 1
+		}
+		return c
+	}
+	if markX >= minX && markX <= maxX {
+		c := col(markX)
+		for r := 0; r < h; r++ {
+			grid[r][c] = '|'
+		}
+	}
+	for i := range xs {
+		r := int((ys[i] - minY) / (maxY - minY) * float64(h-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		grid[h-1-r][col(xs[i])] = '*'
+	}
+	for r := 0; r < h; r++ {
+		lab := "        "
+		if r == 0 {
+			lab = fmt.Sprintf("%7.2f ", maxY)
+		}
+		if r == h-1 {
+			lab = fmt.Sprintf("%7.2f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", lab, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "        %-10.3g%*s%10.3g   x=%s y=%s\n", minX, w-18, "", maxX, xlab, ylab)
+	return b.String()
+}
+
+// RenderFig2 formats one workload's Fig. 2 panel: the correlation plot,
+// fit quality and residual spread.
+func RenderFig2(r Fig2Result) string {
+	var b strings.Builder
+	xs := make([]float64, len(r.Estimates))
+	ys := make([]float64, len(r.Estimates))
+	for i, e := range r.Estimates {
+		xs[i] = e.ObsvRPS
+		ys[i] = e.RealRPS
+	}
+	b.WriteString(asciiPlot(
+		fmt.Sprintf("Fig.2 %s: RPS_real vs RPS_obsv (R^2=%.4f, slope=%.3f)", r.Workload, r.Fit.R2, r.Fit.Slope),
+		"RPS_obsv", "RPS_real", stats.Normalize(xs), stats.Normalize(ys), -1))
+	if len(r.Residuals) > 0 {
+		q := stats.Quantiles(r.Residuals, 0.05, 0.5, 0.95)
+		mean := stats.Mean(r.Residuals)
+		fmt.Fprintf(&b, "residuals: mean=%+.1f p5=%+.1f p50=%+.1f p95=%+.1f (RPS)\n",
+			mean, q[0], q[1], q[2])
+	}
+	return b.String()
+}
+
+// RenderFig3 formats one workload's Fig. 3 panel: normalized send-delta
+// variance vs normalized RPS with the QoS-crossing line.
+func RenderFig3(r SweepResult) string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = p.RealRPS
+		ys[i] = p.SendVarUS2
+	}
+	mark := -1.0
+	if r.QoSCrossIdx >= 0 {
+		mark = normOf(xs, r.Points[r.QoSCrossIdx].RealRPS)
+	}
+	return asciiPlot(
+		fmt.Sprintf("Fig.3 %s: normalized var(dt_send) vs normalized RPS (| = QoS fail)", r.Workload),
+		"RPS (norm)", "var (norm)", stats.Normalize(xs), stats.NormalizeByMax(ys), mark)
+}
+
+// RenderFig4 formats one workload's Fig. 4 panel: normalized mean poll
+// duration vs normalized RPS with the QoS-crossing line.
+func RenderFig4(r SweepResult) string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = p.RealRPS
+		ys[i] = p.PollMeanNS
+	}
+	mark := -1.0
+	if r.QoSCrossIdx >= 0 {
+		mark = normOf(xs, r.Points[r.QoSCrossIdx].RealRPS)
+	}
+	return asciiPlot(
+		fmt.Sprintf("Fig.4 %s: normalized epoll duration vs RPS (| = QoS fail)", r.Workload),
+		"RPS (norm)", "poll dur (norm)", stats.Normalize(xs), stats.NormalizeByMax(ys), mark)
+}
+
+func normOf(xs []float64, v float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		return 0
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// RenderFig5 formats the loss-impact comparison: p99 (top) and poll
+// duration (bottom) per network config.
+func RenderFig5(r Fig5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.5 %s: network loss impact\n", r.Workload)
+	fmt.Fprintf(&b, "%-8s", "level")
+	for _, cfg := range r.Configs {
+		fmt.Fprintf(&b, " | %14s", fmt.Sprintf("%v/%.0f%%loss p99", cfg.Delay, cfg.Loss*100))
+	}
+	for range r.Configs {
+		fmt.Fprintf(&b, " | %12s", "epoll dur")
+	}
+	b.WriteByte('\n')
+	for i := range r.Sweeps[0].Points {
+		fmt.Fprintf(&b, "%-8.2f", r.Sweeps[0].Points[i].Level)
+		for _, sw := range r.Sweeps {
+			fmt.Fprintf(&b, " | %14v", sw.Points[i].P99.Round(time.Microsecond))
+		}
+		for _, sw := range r.Sweeps {
+			fmt.Fprintf(&b, " | %12v", time.Duration(sw.Points[i].PollMeanNS).Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTable2 formats the Table II grid.
+func RenderTable2(rows []Table2Row, configNames []string) string {
+	var b strings.Builder
+	b.WriteString("Table II: R^2 of RPS_obsv under network configurations\n")
+	fmt.Fprintf(&b, "%-22s", "workload")
+	for _, n := range configNames {
+		fmt.Fprintf(&b, " | %16s", n)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 22+19*len(configNames)) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s", r.Workload)
+		for _, v := range r.R2 {
+			fmt.Fprintf(&b, " | %16.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderOverhead formats the Section VI overhead rows.
+func RenderOverhead(rs []OverheadResult) string {
+	var b strings.Builder
+	b.WriteString("eBPF probe overhead on tail latency (Section VI)\n")
+	fmt.Fprintf(&b, "%-22s | %6s | %12s | %12s | %9s | %12s | %9s\n",
+		"workload", "load", "p99 off", "p99 on", "overhead", "per syscall", "cpu share")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-22s | %5.0f%% | %12v | %12v | %+8.2f%% | %12v | %8.3f%%\n",
+			r.Workload, 100*r.Level, r.P99Off.Round(time.Microsecond),
+			r.P99On.Round(time.Microsecond), r.OverheadPct, r.PerSyscall, r.CPUSharePct)
+	}
+	return b.String()
+}
+
+// RenderIOUring formats the Section V-C blind-spot demonstration.
+func RenderIOUring(r IOUringResult) string {
+	return fmt.Sprintf(
+		"io_uring blind spot (Section V-C)\n"+
+			"  server throughput (client-measured): %8.1f RPS\n"+
+			"  RPS_obsv from send-family probe:     %8.1f RPS  <- blind\n"+
+			"  epoll_wait calls observed:           %8d\n"+
+			"  io_uring_enter rate:                 %8.1f /s\n",
+		r.RealRPS, r.ObsvRPS, r.PollCount, r.IoUringRate)
+}
+
+// RenderFig1 formats the Fig. 1 trace study: phase segments and the
+// syscall census with the request-oriented subset marked.
+func RenderFig1(r Fig1Result) string {
+	var b strings.Builder
+	b.WriteString("Fig.1: syscall stream phases\n")
+	for _, s := range r.Segments {
+		fmt.Fprintf(&b, "  %-8s %8d calls  [%v .. %v]\n",
+			s.Phase, s.Calls, time.Duration(s.Start).Round(time.Microsecond),
+			time.Duration(s.End).Round(time.Microsecond))
+	}
+	b.WriteString("syscall census (x = request-oriented subset of Fig.1c):\n")
+	names := make([]string, 0, len(r.Counts))
+	for n := range r.Counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Counts[names[i]] > r.Counts[names[j]] })
+	for _, n := range names {
+		mark := " "
+		if nrByName(n) >= 0 && trace.RequestOriented(nrByName(n)) {
+			mark = "x"
+		}
+		fmt.Fprintf(&b, "  [%s] %-14s %8d\n", mark, n, r.Counts[n])
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  (%d records dropped by ring buffer)\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// nrByName reverses kernel.SyscallName for the names used in reports.
+func nrByName(name string) int {
+	for _, nr := range []int{0, 1, 3, 9, 23, 35, 41, 43, 44, 45, 46, 47, 49, 50, 56, 202, 232, 233, 257, 426} {
+		if kernel.SyscallName(nr) == name {
+			return nr
+		}
+	}
+	return -1
+}

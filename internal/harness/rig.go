@@ -1,0 +1,151 @@
+// Package harness assembles full experiments: a simulated server machine
+// running one workload, a client machine generating open-loop load over
+// a netem-shaped link, and the paper's eBPF probes attached to the
+// server's tracepoints. It implements every sweep behind the paper's
+// figures and tables.
+package harness
+
+import (
+	"time"
+
+	"reqlens/internal/core"
+	"reqlens/internal/kernel"
+	"reqlens/internal/loadgen"
+	"reqlens/internal/machine"
+	"reqlens/internal/netsim"
+	"reqlens/internal/sim"
+	"reqlens/internal/workloads"
+)
+
+// RigOptions configures one experiment instance.
+type RigOptions struct {
+	Seed    int64
+	Profile machine.Profile // server hardware; zero value = AMD
+	Netem   netsim.Config   // link shaping (Section V)
+	Rate    float64         // offered RPS
+	Conns   int             // client connections (0 = 4x workers)
+	Probes  bool            // attach the eBPF probes
+
+	// SeparateClient puts the load generator on its own machine instead
+	// of co-locating it with the server (the paper co-locates both
+	// containers on one host; separation is an ablation).
+	SeparateClient bool
+	// Poisson switches the client to exponential interarrivals instead
+	// of fixed-rate pacing (ablation).
+	Poisson bool
+}
+
+// Rig is one fully wired experiment: simulation, two machines, network,
+// workload, client, probes.
+type Rig struct {
+	Env     *sim.Env
+	ServerK *kernel.Kernel
+	ClientK *kernel.Kernel
+	Net     *netsim.Network
+	Server  workloads.Server
+	Client  *loadgen.Client
+
+	// Obs is the attached core.Observer — the library under evaluation.
+	// Nil when RigOptions.Probes is false.
+	Obs *core.Observer
+}
+
+// NewRig builds and starts a rig for spec. Traffic flows as soon as the
+// simulation runs; call Warmup then Measure.
+func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
+	if opt.Profile.Name == "" {
+		opt.Profile = machine.AMD()
+	}
+	serverProf := opt.Profile
+	// The workload calibration assumes workloads.ServerCores cores; pin
+	// the server allocation while keeping the profile's cost parameters.
+	serverProf.Sockets = 1
+	serverProf.CoresPerSock = workloads.ServerCores
+	serverProf.ThreadsPerCore = 1
+
+	env := sim.NewEnv(opt.Seed)
+	r := &Rig{
+		Env:     env,
+		ServerK: kernel.New(env, serverProf),
+		Net:     netsim.New(env),
+	}
+	if opt.SeparateClient {
+		clientProf := machine.Profile{
+			Name: "client", Sockets: 1, CoresPerSock: 8, ThreadsPerCore: 1,
+			TimeSlice: time.Millisecond, // ideal client: no syscall/switch cost
+		}
+		r.ClientK = kernel.New(env, clientProf)
+	} else {
+		// Paper setup: client and server containers share the machine.
+		r.ClientK = r.ServerK
+	}
+	r.Server = workloads.Launch(r.ServerK, r.Net, spec, opt.Netem)
+
+	if opt.Probes {
+		r.Obs = core.MustAttach(r.ServerK, core.Config{
+			TGID:         r.Server.Process().TGID(),
+			SendSyscalls: []int{spec.SendNR},
+			RecvSyscalls: []int{spec.RecvNR},
+			PollSyscalls: []int{spec.PollNR},
+		})
+	}
+
+	conns := opt.Conns
+	if conns <= 0 {
+		conns = 4 * spec.Workers
+	}
+	perOp := spec.ClientPerOpCost()
+	if opt.SeparateClient {
+		perOp = 0
+	}
+	r.Client = loadgen.New(r.ClientK, r.Server.Listener(), loadgen.Options{
+		Rate:      opt.Rate,
+		Conns:     conns,
+		ReqSize:   spec.ReqSize,
+		PerOpCost: perOp,
+		Poisson:   opt.Poisson,
+	})
+	return r
+}
+
+// Warmup advances the simulation without measuring.
+func (r *Rig) Warmup(d time.Duration) {
+	r.Env.RunFor(d)
+	if r.Obs != nil {
+		r.Obs.Sample() // discard: rebases the observation window
+	}
+}
+
+// Measurement is one window's paired ground truth and eBPF observations.
+type Measurement struct {
+	Load loadgen.Results
+	Obs  core.Window // the library's view of the same window
+
+	RPSObsv    float64 // Eq. 1 estimate from the send probe
+	SendVarUS2 float64 // Eq. 2 variance of send deltas
+	RecvVarUS2 float64
+	PollMeanNS float64 // Fig. 4 slack signal
+}
+
+// Measure runs one measurement window of duration d and returns the
+// paired observations.
+func (r *Rig) Measure(d time.Duration) Measurement {
+	r.Client.StartMeasurement()
+	if r.Obs != nil {
+		r.Obs.Sample() // rebase
+	}
+	r.Env.RunFor(d)
+	m := Measurement{Load: r.Client.Snapshot()}
+	if r.Obs != nil {
+		w := r.Obs.Sample()
+		m.Obs = w
+		m.RPSObsv = w.Send.RatePerSec
+		m.SendVarUS2 = w.Send.VarianceUS2
+		m.RecvVarUS2 = w.Recv.VarianceUS2
+		m.PollMeanNS = float64(w.Poll.MeanDuration)
+	}
+	return m
+}
+
+// Close terminates all simulation goroutines. The rig is unusable after.
+func (r *Rig) Close() { r.Env.Shutdown() }

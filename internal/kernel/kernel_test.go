@@ -1,0 +1,263 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"reqlens/internal/machine"
+	"reqlens/internal/sim"
+)
+
+// smallProfile is a 2-CPU machine with simple round numbers for tests.
+func smallProfile(ncpu int) machine.Profile {
+	return machine.Profile{
+		Name: "test", Sockets: 1, CoresPerSock: ncpu, ThreadsPerCore: 1,
+		ContextSwitchCost: 0,
+		SyscallCost:       0,
+		TimeSlice:         time.Millisecond,
+	}
+}
+
+func newTestKernel(ncpu int) (*sim.Env, *Kernel) {
+	env := sim.NewEnv(1)
+	return env, New(env, smallProfile(ncpu))
+}
+
+func TestThreadIdentity(t *testing.T) {
+	env, k := newTestKernel(2)
+	p := k.NewProcess("srv")
+	var got uint64
+	th := p.SpawnThread("w0", func(t *Thread) {
+		got = t.PidTgid()
+	})
+	env.Run()
+	want := uint64(p.TGID())<<32 | uint64(th.TID())
+	if got != want {
+		t.Fatalf("PidTgid = %#x, want %#x", got, want)
+	}
+	if th.TID() == p.TGID() {
+		t.Fatal("tid should differ from tgid for spawned threads")
+	}
+	if len(p.Threads()) != 1 || len(k.Processes()) != 1 {
+		t.Fatal("registration lists wrong")
+	}
+}
+
+func TestComputeConsumesVirtualTime(t *testing.T) {
+	env, k := newTestKernel(1)
+	p := k.NewProcess("srv")
+	var done sim.Time
+	p.SpawnThread("w", func(t *Thread) {
+		t.Compute(5 * time.Millisecond)
+		done = t.Now()
+	})
+	env.Run()
+	if done != sim.Time(5*time.Millisecond) {
+		t.Fatalf("finished at %v, want 5ms", done)
+	}
+}
+
+func TestComputeParallelOnMultipleCPUs(t *testing.T) {
+	env, k := newTestKernel(2)
+	p := k.NewProcess("srv")
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(5 * time.Millisecond)
+			ends = append(ends, t.Now())
+		})
+	}
+	env.Run()
+	for _, e := range ends {
+		if e != sim.Time(5*time.Millisecond) {
+			t.Fatalf("2 threads on 2 CPUs should not queue: ends=%v", ends)
+		}
+	}
+}
+
+func TestComputeContentionSerializes(t *testing.T) {
+	env, k := newTestKernel(1)
+	p := k.NewProcess("srv")
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(5 * time.Millisecond)
+			ends = append(ends, t.Now())
+		})
+	}
+	env.Run()
+	// Two 5ms jobs on one CPU with 1ms slices: round-robin means both
+	// finish near the end of the 10ms of total work.
+	if len(ends) != 2 {
+		t.Fatalf("ends = %v", ends)
+	}
+	last := ends[1]
+	if ends[0] > last {
+		last = ends[0]
+	}
+	if last != sim.Time(10*time.Millisecond) {
+		t.Fatalf("latest end = %v, want 10ms (serialized)", last)
+	}
+	if first := min(ends[0], ends[1]); first < sim.Time(9*time.Millisecond) {
+		t.Fatalf("earliest end = %v; round-robin should interleave, not FCFS", first)
+	}
+}
+
+func min(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestContextSwitchCostCharged(t *testing.T) {
+	env := sim.NewEnv(1)
+	prof := smallProfile(1)
+	prof.ContextSwitchCost = 100 * time.Microsecond
+	k := New(env, prof)
+	p := k.NewProcess("srv")
+	var end sim.Time
+	done := 0
+	for i := 0; i < 2; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(3 * time.Millisecond)
+			done++
+			end = t.Now()
+		})
+	}
+	env.Run()
+	if done != 2 {
+		t.Fatal("threads did not finish")
+	}
+	// 6ms of work plus several 100us switch penalties.
+	if end <= sim.Time(6*time.Millisecond) {
+		t.Fatalf("end = %v, expected context switch overhead beyond 6ms", end)
+	}
+	if k.sched.ctxSwitches == 0 {
+		t.Fatal("no context switches recorded")
+	}
+}
+
+func TestSchedulerPreemptionCounts(t *testing.T) {
+	env, k := newTestKernel(1)
+	p := k.NewProcess("srv")
+	for i := 0; i < 3; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(4 * time.Millisecond)
+		})
+	}
+	env.Run()
+	if k.sched.preemptions == 0 {
+		t.Fatal("expected preemptions with 3 threads on 1 CPU")
+	}
+}
+
+func TestRunQueueVisibility(t *testing.T) {
+	env, k := newTestKernel(1)
+	p := k.NewProcess("srv")
+	sawQueue := false
+	for i := 0; i < 4; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(2 * time.Millisecond)
+		})
+	}
+	env.Schedule(500*time.Microsecond, func() {
+		if k.RunQueueLen() > 0 {
+			sawQueue = true
+		}
+	})
+	env.Run()
+	if !sawQueue {
+		t.Fatal("run queue never observed non-empty under 4x overload")
+	}
+}
+
+func TestInvokeFiresListeners(t *testing.T) {
+	env, k := newTestKernel(1)
+	var events []SyscallEvent
+	k.Tracer().AddListener(func(ev SyscallEvent) { events = append(events, ev) })
+	p := k.NewProcess("srv")
+	var gotRet int64
+	p.SpawnThread("w", func(th *Thread) {
+		gotRet = th.Invoke(SysSendto, [6]uint64{7, 128}, func() int64 {
+			th.Compute(10 * time.Microsecond)
+			return 128
+		})
+	})
+	env.Run()
+	if gotRet != 128 {
+		t.Fatalf("Invoke ret = %d", gotRet)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want enter+exit", len(events))
+	}
+	if !events[0].Enter || events[0].NR != SysSendto || events[0].Args[0] != 7 {
+		t.Fatalf("enter event = %+v", events[0])
+	}
+	if events[1].Enter || events[1].Ret != 128 {
+		t.Fatalf("exit event = %+v", events[1])
+	}
+	if events[1].Time <= events[0].Time {
+		t.Fatal("exit should be after enter")
+	}
+}
+
+func TestThreadAccounting(t *testing.T) {
+	env, k := newTestKernel(1)
+	p := k.NewProcess("srv")
+	th := p.SpawnThread("w", func(t *Thread) {
+		t.Invoke(SysRead, [6]uint64{}, func() int64 { return 0 })
+		t.Invoke(SysWrite, [6]uint64{}, func() int64 { return 0 })
+		t.Compute(time.Millisecond)
+	})
+	env.Run()
+	if th.SyscallCount() != 2 {
+		t.Fatalf("SyscallCount = %d", th.SyscallCount())
+	}
+	if th.CPUTime() < time.Millisecond {
+		t.Fatalf("CPUTime = %v", th.CPUTime())
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if SyscallName(SysEpollWait) != "epoll_wait" {
+		t.Fatal("epoll_wait name")
+	}
+	if SyscallName(12345) != "sys_12345" {
+		t.Fatalf("unknown name = %q", SyscallName(12345))
+	}
+	if !RecvFamily(SysRecvfrom) || !RecvFamily(SysRead) || RecvFamily(SysSendto) {
+		t.Fatal("RecvFamily classification")
+	}
+	if !SendFamily(SysSendmsg) || !SendFamily(SysWrite) || SendFamily(SysRead) {
+		t.Fatal("SendFamily classification")
+	}
+	if !PollFamily(SysEpollWait) || !PollFamily(SysSelect) || PollFamily(SysRead) {
+		t.Fatal("PollFamily classification")
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	amd, intel := machine.AMD(), machine.Intel()
+	if amd.LogicalCPUs() != 64 {
+		t.Fatalf("AMD logical CPUs = %d, want 64", amd.LogicalCPUs())
+	}
+	if intel.LogicalCPUs() != 16 {
+		t.Fatalf("Intel logical CPUs = %d, want 16", intel.LogicalCPUs())
+	}
+	tbl := machine.TableI()
+	for _, want := range []string{"AMD EPYC 7302", "Intel Xeon CPU E5-2620", "512 GB"} {
+		if !contains(tbl, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

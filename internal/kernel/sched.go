@@ -1,0 +1,146 @@
+package kernel
+
+import "time"
+
+// cpu is one logical processor.
+type cpu struct {
+	id   int
+	busy bool
+	last *Thread // previous occupant, for context-switch accounting
+}
+
+// scheduler is a FIFO run queue with timeslice preemption over a fixed
+// set of logical CPUs. It is intentionally simpler than CFS but shares
+// the properties the paper's signal depends on: a finite service rate,
+// queueing delay past saturation, and per-dispatch context-switch cost.
+type scheduler struct {
+	k          *Kernel
+	cpus       []*cpu
+	ncpu       int
+	timeslice  time.Duration
+	switchCost time.Duration
+	runq       []*Thread
+
+	dispatches  uint64
+	preemptions uint64
+	ctxSwitches uint64
+}
+
+func newScheduler(k *Kernel, ncpu int, slice, switchCost time.Duration) *scheduler {
+	s := &scheduler{k: k, ncpu: ncpu, timeslice: slice, switchCost: switchCost}
+	s.cpus = make([]*cpu, ncpu)
+	for i := range s.cpus {
+		s.cpus[i] = &cpu{id: i}
+	}
+	return s
+}
+
+// idleCPU returns a free CPU, preferring the thread's previous one
+// (cheap affinity so single-threaded phases avoid paying the switch
+// cost on every syscall).
+func (s *scheduler) idleCPU(t *Thread) *cpu {
+	var free *cpu
+	for _, c := range s.cpus {
+		if !c.busy {
+			if c.last == t {
+				return c
+			}
+			if free == nil {
+				free = c
+			}
+		}
+	}
+	return free
+}
+
+// acquire obtains a CPU for t, queueing when all are busy. On return,
+// t.cpu is set and any context-switch penalty has been paid.
+func (s *scheduler) acquire(t *Thread) {
+	if c := s.idleCPU(t); c != nil {
+		c.busy = true
+		s.assign(t, c)
+		return
+	}
+	t.runqWaits++
+	s.runq = append(s.runq, t)
+	for t.cpu == nil {
+		t.sp.Park() // woken by release/preempt handing us a CPU
+	}
+	s.chargeSwitch(t)
+}
+
+// assign puts t on c, charging the switch cost when the CPU last ran a
+// different thread.
+func (s *scheduler) assign(t *Thread, c *cpu) {
+	t.cpu = c
+	s.dispatches++
+	if c.last != t {
+		s.chargeSwitch(t)
+	}
+}
+
+func (s *scheduler) chargeSwitch(t *Thread) {
+	s.ctxSwitches++
+	if s.switchCost > 0 {
+		t.sp.Sleep(s.switchCost)
+	}
+}
+
+// release frees t's CPU, handing it directly to the next queued thread
+// if any.
+func (s *scheduler) release(t *Thread) {
+	c := t.cpu
+	if c == nil {
+		return
+	}
+	c.last = t
+	t.cpu = nil
+	if len(s.runq) > 0 {
+		next := s.runq[0]
+		s.runq = s.runq[1:]
+		next.cpu = c
+		s.dispatches++
+		next.waker.Wake()
+		return
+	}
+	c.busy = false
+}
+
+// compute runs t for total CPU time d. The thread's quantum carries
+// across Compute calls (as a real scheduler's timeslice spans syscalls),
+// so a thread that has been running for a while can be preempted at the
+// quantum boundary even inside a short critical-section compute — the
+// lock-holder-preemption behaviour that drives contention convoys at
+// saturation.
+func (s *scheduler) compute(t *Thread, d time.Duration) {
+	remaining := d
+	for {
+		if t.cpu == nil {
+			s.acquire(t)
+		}
+		if t.quantum <= 0 {
+			t.quantum = s.timeslice
+		}
+		run := remaining
+		if t.quantum < run {
+			run = t.quantum
+		}
+		t.sp.Sleep(run)
+		remaining -= run
+		t.quantum -= run
+		if remaining <= 0 {
+			// Voluntary yield: keep the leftover quantum.
+			s.release(t)
+			return
+		}
+		if t.quantum <= 0 {
+			if len(s.runq) > 0 {
+				// Quantum expired with waiters: yield the CPU and requeue.
+				s.preemptions++
+				s.release(t)
+			} else {
+				t.quantum = s.timeslice
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package loadgen drives workloads with an open-loop Poisson client —
+// the load model that pushes a server past saturation regardless of its
+// response rate, as the paper's sweeps require. It measures the
+// ground-truth request rate (RPS_real, the "benchmark-reported RPS" of
+// Fig. 2) and client-perceived latency percentiles, including every
+// network effect (delay, loss, retransmission).
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/netsim"
+	"reqlens/internal/sim"
+	"reqlens/internal/stats"
+)
+
+// Options configures a client.
+type Options struct {
+	Rate    float64 // offered load, requests per second
+	Conns   int     // connection pool size
+	ReqSize int     // request bytes
+
+	// Generators is the number of load-generating threads splitting Rate
+	// (default 4). Each paces against its own schedule and catches up in
+	// a burst when it falls behind — the behaviour of real loader threads
+	// starved for CPU on a co-located, saturated machine (the paper runs
+	// client and server containers on one host, Section IV-A).
+	Generators int
+	// PerOpCost is the client CPU burned per send and per receive
+	// (request serialization, response parsing). On a co-located client
+	// this couples loader pacing to server saturation.
+	PerOpCost time.Duration
+	// Poisson selects exponential interarrival gaps; the default is
+	// uniform pacing per generator, as fixed-rate loaders do.
+	Poisson bool
+}
+
+// Client is one open-loop load generator attached to a workload.
+type Client struct {
+	k    *kernel.Kernel
+	proc *kernel.Process
+	rng  *rand.Rand
+	opts Options
+
+	conns  []*netsim.Sock
+	sentAt map[uint64]sim.Time
+	nextID uint64
+
+	measuring bool
+	measStart sim.Time
+	sent      uint64
+	completed uint64
+	hist      *stats.Histogram
+	lifetime  uint64 // responses ever received
+}
+
+// New connects a client to the listener with opts.Conns connections and
+// starts the generator and receiver threads. Traffic begins immediately.
+func New(k *kernel.Kernel, l *netsim.Listener, opts Options) *Client {
+	if opts.Conns <= 0 {
+		opts.Conns = 8
+	}
+	if opts.ReqSize <= 0 {
+		opts.ReqSize = 128
+	}
+	c := &Client{
+		k:      k,
+		proc:   k.NewProcess("client"),
+		rng:    k.Env().NewRNG(),
+		opts:   opts,
+		sentAt: make(map[uint64]sim.Time),
+		hist:   stats.NewHistogram(),
+	}
+
+	ready := 0
+	for i := 0; i < opts.Conns; i++ {
+		c.proc.SpawnThread("conn", func(t *kernel.Thread) {
+			s := l.Dial(t)
+			c.conns = append(c.conns, s)
+			ready++
+			// Receiver loop: blocking recv, match by request ID.
+			for {
+				m := s.Recv(t, kernel.SysRecvfrom)
+				if c.opts.PerOpCost > 0 {
+					t.Compute(c.opts.PerOpCost) // parse the response
+				}
+				c.onResponse(t.Now(), m)
+			}
+		})
+	}
+
+	gens := opts.Generators
+	if gens <= 0 {
+		gens = 4
+	}
+	for g := 0; g < gens; g++ {
+		g := g
+		c.proc.SpawnThread("generator", func(t *kernel.Thread) {
+			// Let connections establish before offering load.
+			for ready < opts.Conns {
+				t.Sleep(100 * time.Microsecond)
+			}
+			if c.opts.Rate <= 0 {
+				return
+			}
+			perGen := c.opts.Rate / float64(gens)
+			// Stagger generator phases so fixed-rate pacing interleaves
+			// instead of firing in lockstep.
+			next := t.Now().Add(time.Duration(float64(g) / perGen / float64(gens) * float64(time.Second)))
+			for i := g; ; i += gens {
+				var gap time.Duration
+				if c.opts.Poisson {
+					gap = time.Duration(c.rng.ExpFloat64() / perGen * float64(time.Second))
+				} else {
+					gap = time.Duration(float64(time.Second) / perGen)
+				}
+				next = next.Add(gap)
+				if now := t.Now(); next > now {
+					t.Sleep(next.Sub(now))
+				}
+				// When behind schedule (CPU starvation on a co-located,
+				// saturated host) requests fire back-to-back to catch up.
+				if c.opts.PerOpCost > 0 {
+					t.Compute(c.opts.PerOpCost) // build the request
+				}
+				s := c.conns[i%len(c.conns)]
+				c.nextID++
+				id := c.nextID
+				c.sentAt[id] = t.Now()
+				if c.measuring {
+					c.sent++
+				}
+				s.Send(t, kernel.SysSendto, &netsim.Message{ID: id, Size: c.opts.ReqSize})
+			}
+		})
+	}
+	return c
+}
+
+func (c *Client) onResponse(now sim.Time, m *netsim.Message) {
+	c.lifetime++
+	sent, ok := c.sentAt[m.ID]
+	if !ok {
+		return
+	}
+	delete(c.sentAt, m.ID)
+	if c.measuring {
+		c.completed++
+		c.hist.RecordDuration(now.Sub(sent))
+	}
+}
+
+// StartMeasurement clears counters and begins a measurement window.
+func (c *Client) StartMeasurement() {
+	c.measuring = true
+	c.measStart = c.k.Env().Now()
+	c.sent = 0
+	c.completed = 0
+	c.hist.Reset()
+}
+
+// Results summarizes a measurement window.
+type Results struct {
+	Offered   float64 // configured open-loop rate
+	SentRPS   float64 // requests actually issued per second
+	RealRPS   float64 // responses completed per second (RPS_real)
+	Completed uint64
+	Window    time.Duration
+	Mean      time.Duration
+	P50       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+	Max       time.Duration
+}
+
+// Snapshot ends nothing; it reads the current window's results.
+func (c *Client) Snapshot() Results {
+	now := c.k.Env().Now()
+	win := now.Sub(c.measStart)
+	r := Results{
+		Offered:   c.opts.Rate,
+		Completed: c.completed,
+		Window:    win,
+		Mean:      time.Duration(c.hist.Mean()),
+		P50:       time.Duration(c.hist.Quantile(0.50)),
+		P99:       time.Duration(c.hist.Quantile(0.99)),
+		P999:      time.Duration(c.hist.Quantile(0.999)),
+		Max:       time.Duration(c.hist.Max()),
+	}
+	if win > 0 {
+		r.RealRPS = float64(c.completed) / win.Seconds()
+		r.SentRPS = float64(c.sent) / win.Seconds()
+	}
+	return r
+}
+
+// Completed returns the number of responses received in the current
+// measurement window.
+func (c *Client) Completed() uint64 { return c.completed }
+
+// Lifetime returns responses received since the client started.
+func (c *Client) Lifetime() uint64 { return c.lifetime }
+
+// Outstanding returns requests awaiting responses.
+func (c *Client) Outstanding() int { return len(c.sentAt) }

@@ -1,0 +1,130 @@
+// Package machine defines the hardware profiles of the paper's Table I.
+// A Profile parameterizes the simulated kernel (core count, context
+// switch cost scale) so experiments can demonstrate the paper's claim
+// that syscall-derived observability generalizes across hardware.
+package machine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes one server configuration.
+type Profile struct {
+	Name           string
+	CPUModel       string
+	OS             string
+	Kernel         string
+	Sockets        int
+	CoresPerSock   int
+	ThreadsPerCore int
+	MinMHz         int
+	MaxMHz         int
+	L1InstCache    string
+	L1DataCache    string
+	L2Cache        string
+	L3Cache        string
+	MemoryGB       int
+	DiskTB         int
+
+	// Simulation knobs derived from the hardware class.
+	ContextSwitchCost time.Duration // scheduler switch overhead
+	SyscallCost       time.Duration // base in-kernel cost per syscall
+	TimeSlice         time.Duration // scheduler quantum
+}
+
+// LogicalCPUs returns the schedulable CPU count.
+func (p Profile) LogicalCPUs() int {
+	return p.Sockets * p.CoresPerSock * p.ThreadsPerCore
+}
+
+// String formats the profile as a Table I style column.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%s, %d sockets x %d cores x %d threads, %d-%d MHz)",
+		p.Name, p.CPUModel, p.Sockets, p.CoresPerSock, p.ThreadsPerCore, p.MinMHz, p.MaxMHz)
+}
+
+// AMD is the paper's AMD EPYC 7302 server (Table I, left column).
+func AMD() Profile {
+	return Profile{
+		Name:           "AMD",
+		CPUModel:       "AMD EPYC 7302",
+		OS:             "Ubuntu 20.04.1",
+		Kernel:         "5.15.0-52-generic",
+		Sockets:        2,
+		CoresPerSock:   16,
+		ThreadsPerCore: 2,
+		MinMHz:         1500,
+		MaxMHz:         3000,
+		L1InstCache:    "1 MB",
+		L1DataCache:    "1 MB",
+		L2Cache:        "16 MB",
+		L3Cache:        "256 MB",
+		MemoryGB:       512,
+		DiskTB:         2,
+
+		ContextSwitchCost: 1200 * time.Nanosecond,
+		SyscallCost:       900 * time.Nanosecond,
+		TimeSlice:         1 * time.Millisecond,
+	}
+}
+
+// Intel is the paper's Intel Xeon E5-2620 server (Table I, right column).
+func Intel() Profile {
+	return Profile{
+		Name:           "INTEL",
+		CPUModel:       "Intel Xeon CPU E5-2620",
+		OS:             "Red Hat 4.8.5-36",
+		Kernel:         "4.20.13-1.el7.elrepo",
+		Sockets:        2,
+		CoresPerSock:   8,
+		ThreadsPerCore: 1,
+		MinMHz:         1200,
+		MaxMHz:         3000,
+		L1InstCache:    "32 KB",
+		L1DataCache:    "32 KB",
+		L2Cache:        "256 KB",
+		L3Cache:        "20 MB",
+		MemoryGB:       128,
+		DiskTB:         2,
+
+		ContextSwitchCost: 1600 * time.Nanosecond,
+		SyscallCost:       1100 * time.Nanosecond,
+		TimeSlice:         1 * time.Millisecond,
+	}
+}
+
+// TableI renders the paper's Table I for both profiles.
+func TableI() string {
+	a, b := AMD(), Intel()
+	rows := []struct {
+		label  string
+		av, iv string
+	}{
+		{"CPU Model", a.CPUModel, b.CPUModel},
+		{"OS (Kernel)", fmt.Sprintf("%s (%s)", a.OS, a.Kernel), fmt.Sprintf("%s (%s)", b.OS, b.Kernel)},
+		{"Sockets", fmt.Sprint(a.Sockets), fmt.Sprint(b.Sockets)},
+		{"Cores/Socket", fmt.Sprint(a.CoresPerSock), fmt.Sprint(b.CoresPerSock)},
+		{"Threads/Core", fmt.Sprint(a.ThreadsPerCore), fmt.Sprint(b.ThreadsPerCore)},
+		{"Min/Max Frequency", fmt.Sprintf("%d/%d MHz", a.MinMHz, a.MaxMHz), fmt.Sprintf("%d/%d MHz", b.MinMHz, b.MaxMHz)},
+		{"L1 Inst/Data Cache", a.L1InstCache + " / " + a.L1DataCache, b.L1InstCache + " / " + b.L1DataCache},
+		{"L2 Cache", a.L2Cache, b.L2Cache},
+		{"L3 Cache", a.L3Cache, b.L3Cache},
+		{"Memory", fmt.Sprintf("%d GB", a.MemoryGB), fmt.Sprintf("%d GB", b.MemoryGB)},
+		{"Disk", fmt.Sprintf("%d TB", a.DiskTB), fmt.Sprintf("%d TB", b.DiskTB)},
+	}
+	out := fmt.Sprintf("%-20s | %-35s | %-35s\n", "", "AMD", "INTEL")
+	out += fmt.Sprintf("%s\n", dashes(20+3+35+3+35))
+	for _, r := range rows {
+		out += fmt.Sprintf("%-20s | %-35s | %-35s\n", r.label, r.av, r.iv)
+	}
+	return out
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

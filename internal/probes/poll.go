@@ -1,0 +1,200 @@
+package probes
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"reqlens/internal/ebpf"
+	"reqlens/internal/kernel"
+)
+
+// Poll stats value layout (one ArrayMap slot, 16 bytes).
+const (
+	psOffCount  = 0
+	psOffSumNS  = 8
+	psValueSize = 16
+)
+
+// PollProbe measures the duration of poll-family syscalls per thread: the
+// paper's Listing 1, generalized to accumulate count and total duration
+// in kernel space. Entry timestamps are keyed by pid_tgid so concurrent
+// pollers do not collide.
+type PollProbe struct {
+	Stats *ebpf.ArrayMap
+	Start *ebpf.HashMap
+	enter *ebpf.Program
+	exit  *ebpf.Program
+	links []*kernel.Link
+	nrs   []int
+}
+
+// NewPollProbe builds the entry/exit program pair for the poll syscalls
+// in nrs, filtered to tgid (0 = all).
+func NewPollProbe(name string, tgid int, nrs []int) (*PollProbe, error) {
+	if len(nrs) == 0 || len(nrs) > 4 {
+		return nil, fmt.Errorf("probes: need 1..4 syscall numbers, got %d", len(nrs))
+	}
+	stats := ebpf.NewArrayMap(name+"_stats", psValueSize, 1)
+	start := ebpf.NewHashMap(name+"_start", 8, 8, 4096)
+	maps := map[int32]ebpf.Map{fdStats: stats, fdStart: start}
+
+	// sys_enter: start[pid_tgid] = now
+	a := ebpf.NewAssembler()
+	emitTgidFilter(a, tgid)
+	emitSyscallFilter(a, nrs)
+	a.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	a.Emit(
+		ebpf.StoreMem(ebpf.R10, -8, ebpf.R9, ebpf.SizeDW),  // key = pid_tgid
+		ebpf.StoreMem(ebpf.R10, -16, ebpf.R0, ebpf.SizeDW), // value = now
+	)
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStart))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R3, -16),
+		ebpf.Mov64Imm(ebpf.R4, int32(ebpf.UpdateAny)),
+		ebpf.Call(ebpf.HelperMapUpdateElem),
+	)
+	a.Label("out")
+	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	enter, err := ebpf.Load(ebpf.ProgramSpec{
+		Name: name + "_enter", Insns: a.MustAssemble(),
+		Maps: maps, CtxSize: kernel.SysEnterCtxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// sys_exit: duration = now - start[pid_tgid]; accumulate; delete key.
+	b := ebpf.NewAssembler()
+	emitTgidFilter(b, tgid)
+	emitSyscallFilter(b, nrs)
+	b.Emit(ebpf.StoreMem(ebpf.R10, -8, ebpf.R9, ebpf.SizeDW)) // key = pid_tgid
+	b.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStart))
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+	)
+	b.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "out")              // no entry seen (attach race)
+	b.Emit(ebpf.LoadMem(ebpf.R7, ebpf.R0, 0, ebpf.SizeDW)) // R7 = start ts
+	b.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R8, ebpf.R0),
+		ebpf.Sub64Reg(ebpf.R8, ebpf.R7), // R8 = duration
+	)
+	// delete start[pid_tgid]
+	b.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStart))
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Call(ebpf.HelperMapDeleteElem),
+	)
+	// stats[0]: count++, sum += duration
+	b.Emit(ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.SizeW))
+	b.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStats))
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -4),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+	)
+	b.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "out")
+	b.Emit(
+		ebpf.LoadMem(ebpf.R1, ebpf.R0, psOffCount, ebpf.SizeDW),
+		ebpf.Add64Imm(ebpf.R1, 1),
+		ebpf.StoreMem(ebpf.R0, psOffCount, ebpf.R1, ebpf.SizeDW),
+		ebpf.LoadMem(ebpf.R1, ebpf.R0, psOffSumNS, ebpf.SizeDW),
+		ebpf.Add64Reg(ebpf.R1, ebpf.R8),
+		ebpf.StoreMem(ebpf.R0, psOffSumNS, ebpf.R1, ebpf.SizeDW),
+	)
+	b.Label("out")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	exit, err := ebpf.Load(ebpf.ProgramSpec{
+		Name: name + "_exit", Insns: b.MustAssemble(),
+		Maps: maps, CtxSize: kernel.SysExitCtxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &PollProbe{Stats: stats, Start: start, enter: enter, exit: exit, nrs: nrs}, nil
+}
+
+// MustNewPollProbe panics on build failure.
+func MustNewPollProbe(name string, tgid int, nrs []int) *PollProbe {
+	p, err := NewPollProbe(name, tgid, nrs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Syscalls returns the traced syscall numbers.
+func (p *PollProbe) Syscalls() []int { return p.nrs }
+
+// EnterProgram returns the sys_enter program.
+func (p *PollProbe) EnterProgram() *ebpf.Program { return p.enter }
+
+// ExitProgram returns the sys_exit program.
+func (p *PollProbe) ExitProgram() *ebpf.Program { return p.exit }
+
+// Attach hooks both programs.
+func (p *PollProbe) Attach(tr *kernel.Tracer) error {
+	le, err := tr.Attach(kernel.RawSysEnter, p.enter)
+	if err != nil {
+		return err
+	}
+	lx, err := tr.Attach(kernel.RawSysExit, p.exit)
+	if err != nil {
+		le.Detach()
+		return err
+	}
+	p.links = []*kernel.Link{le, lx}
+	return nil
+}
+
+// Detach removes both programs.
+func (p *PollProbe) Detach() {
+	for _, l := range p.links {
+		l.Detach()
+	}
+	p.links = nil
+}
+
+// PollSnapshot is a userspace copy of the accumulator.
+type PollSnapshot struct {
+	Count uint64
+	SumNS uint64
+}
+
+// Snapshot reads the accumulator.
+func (p *PollProbe) Snapshot() PollSnapshot {
+	v := p.Stats.At(0)
+	return PollSnapshot{
+		Count: binary.LittleEndian.Uint64(v[psOffCount:]),
+		SumNS: binary.LittleEndian.Uint64(v[psOffSumNS:]),
+	}
+}
+
+// Reset zeroes the accumulator.
+func (p *PollProbe) Reset() {
+	v := p.Stats.At(0)
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Sub returns the window between two cumulative snapshots.
+func (s PollSnapshot) Sub(prev PollSnapshot) PollSnapshot {
+	return PollSnapshot{Count: s.Count - prev.Count, SumNS: s.SumNS - prev.SumNS}
+}
+
+// MeanNS returns the mean poll duration in nanoseconds — the paper's
+// idleness / saturation-slack signal.
+func (s PollSnapshot) MeanNS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}

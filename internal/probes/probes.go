@@ -1,0 +1,276 @@
+// Package probes contains the eBPF programs of the paper's methodology,
+// written against the reqlens assembler and loaded through the verifier:
+//
+//   - DeltaProbe: in-kernel inter-syscall delta statistics for a syscall
+//     family (count, sum, sum of squares, first/last timestamps) — the
+//     machinery behind Eq. 1 (RPS_obsv = 1/mean delta) and Eq. 2
+//     (variance of deltas) computed entirely in map space.
+//   - PollProbe: Listing 1 generalized — entry/exit timestamp pairing for
+//     poll syscalls (epoll_wait/select), accumulating call durations for
+//     the saturation-slack signal (Fig. 4).
+//   - StreamProbe: raw sys_enter/sys_exit records emitted to a ring
+//     buffer for userspace analysis (the paper's initial exploration
+//     mode, and Fig. 1's trace).
+//
+// All programs filter by tgid in-kernel, exactly as the paper's Listing 1
+// filters PID_TGID, so an attached probe observes one application.
+package probes
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"reqlens/internal/ebpf"
+	"reqlens/internal/kernel"
+)
+
+// Map fds used inside the probe programs.
+const (
+	fdStats   = 1
+	fdStart   = 2
+	fdRingbuf = 3
+)
+
+// emitTgidFilter emits the common prologue: save ctx in R6, load
+// pid_tgid, keep the thread id in R9, extract the tgid into R7 and jump
+// to "out" unless it matches. tgid==0 disables filtering.
+func emitTgidFilter(a *ebpf.Assembler, tgid int) {
+	a.Emit(ebpf.Mov64Reg(ebpf.R6, ebpf.R1)) // R6 = ctx
+	a.Emit(ebpf.Call(ebpf.HelperGetCurrentPidTgid))
+	a.Emit(ebpf.Mov64Reg(ebpf.R9, ebpf.R0)) // R9 = pid_tgid
+	if tgid == 0 {
+		return
+	}
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R7, ebpf.R0),
+		ebpf.Rsh64Imm(ebpf.R7, 32),
+	)
+	a.JumpImm(ebpf.JmpJNE, ebpf.R7, int32(tgid), "out")
+}
+
+// emitSyscallFilter jumps to "match" when ctx->id is one of nrs, else
+// falls through to a jump to "out".
+func emitSyscallFilter(a *ebpf.Assembler, nrs []int) {
+	a.Emit(ebpf.LoadMem(ebpf.R8, ebpf.R6, int16(kernel.CtxOffID), ebpf.SizeDW))
+	for _, nr := range nrs {
+		a.JumpImm(ebpf.JmpJEQ, ebpf.R8, int32(nr), "match")
+	}
+	a.Jump("out")
+	a.Label("match")
+}
+
+// DeltaStats value layout (one ArrayMap slot, 48 bytes).
+const (
+	dsOffCount   = 0  // number of deltas accumulated
+	dsOffSumNS   = 8  // sum of deltas, ns
+	dsOffSumSqUS = 16 // sum of squared deltas, us^2 (us units avoid u64 overflow)
+	dsOffFirstTS = 24 // timestamp of first matched call
+	dsOffLastTS  = 32 // timestamp of most recent matched call
+	dsOffCalls   = 40 // total matched calls (deltas + 1 once warm)
+	dsValueSize  = 48
+)
+
+// DeltaProbe accumulates inter-call deltas of a syscall family in kernel
+// space.
+type DeltaProbe struct {
+	Stats *ebpf.ArrayMap
+	prog  *ebpf.Program
+	link  *kernel.Link
+	nrs   []int
+}
+
+// NewDeltaProbe builds and verifies the delta program for the syscall
+// numbers in nrs (1..4 entries), filtered to tgid (0 = all processes).
+func NewDeltaProbe(name string, tgid int, nrs []int) (*DeltaProbe, error) {
+	if len(nrs) == 0 || len(nrs) > 4 {
+		return nil, fmt.Errorf("probes: need 1..4 syscall numbers, got %d", len(nrs))
+	}
+	stats := ebpf.NewArrayMap(name+"_stats", dsValueSize, 1)
+
+	a := ebpf.NewAssembler()
+	emitTgidFilter(a, tgid)
+	emitSyscallFilter(a, nrs)
+
+	a.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	a.Emit(ebpf.Mov64Reg(ebpf.R9, ebpf.R0)) // R9 = now (thread id no longer needed)
+
+	// stats = lookup(&key0)
+	a.Emit(ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.SizeW))
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStats))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -4),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+	)
+	a.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "out")
+	// R0 = &stats value. R7 = old call count; bump total calls.
+	a.Emit(
+		ebpf.LoadMem(ebpf.R7, ebpf.R0, dsOffCalls, ebpf.SizeDW),
+		ebpf.Mov64Reg(ebpf.R1, ebpf.R7),
+		ebpf.Add64Imm(ebpf.R1, 1),
+		ebpf.StoreMem(ebpf.R0, dsOffCalls, ebpf.R1, ebpf.SizeDW),
+	)
+	// R2 = previous last_ts; last_ts = now.
+	a.Emit(
+		ebpf.LoadMem(ebpf.R2, ebpf.R0, dsOffLastTS, ebpf.SizeDW),
+		ebpf.StoreMem(ebpf.R0, dsOffLastTS, ebpf.R9, ebpf.SizeDW),
+	)
+	// First matched call (old count was 0): record first_ts, no delta
+	// yet. The call counter, not last_ts, distinguishes the first sample:
+	// a timestamp of 0 is a legal clock reading.
+	a.JumpImm(ebpf.JmpJNE, ebpf.R7, 0, "delta")
+	a.Emit(ebpf.StoreMem(ebpf.R0, dsOffFirstTS, ebpf.R9, ebpf.SizeDW))
+	a.Jump("out")
+
+	a.Label("delta")
+	// R3 = delta = now - prev
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R9),
+		ebpf.Sub64Reg(ebpf.R3, ebpf.R2),
+	)
+	// count++
+	a.Emit(
+		ebpf.LoadMem(ebpf.R4, ebpf.R0, dsOffCount, ebpf.SizeDW),
+		ebpf.Add64Imm(ebpf.R4, 1),
+		ebpf.StoreMem(ebpf.R0, dsOffCount, ebpf.R4, ebpf.SizeDW),
+	)
+	// sum_ns += delta
+	a.Emit(
+		ebpf.LoadMem(ebpf.R4, ebpf.R0, dsOffSumNS, ebpf.SizeDW),
+		ebpf.Add64Reg(ebpf.R4, ebpf.R3),
+		ebpf.StoreMem(ebpf.R0, dsOffSumNS, ebpf.R4, ebpf.SizeDW),
+	)
+	// sumsq_us2 += (delta/1000)^2
+	a.Emit(
+		ebpf.Div64Imm(ebpf.R3, 1000),
+		ebpf.Mov64Reg(ebpf.R5, ebpf.R3),
+		ebpf.Mul64Reg(ebpf.R5, ebpf.R3),
+		ebpf.LoadMem(ebpf.R4, ebpf.R0, dsOffSumSqUS, ebpf.SizeDW),
+		ebpf.Add64Reg(ebpf.R4, ebpf.R5),
+		ebpf.StoreMem(ebpf.R0, dsOffSumSqUS, ebpf.R4, ebpf.SizeDW),
+	)
+
+	a.Label("out")
+	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+
+	prog, err := ebpf.Load(ebpf.ProgramSpec{
+		Name:    name,
+		Insns:   a.MustAssemble(),
+		Maps:    map[int32]ebpf.Map{fdStats: stats},
+		CtxSize: kernel.SysEnterCtxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaProbe{Stats: stats, prog: prog, nrs: nrs}, nil
+}
+
+// MustNewDeltaProbe panics on build failure.
+func MustNewDeltaProbe(name string, tgid int, nrs []int) *DeltaProbe {
+	p, err := NewDeltaProbe(name, tgid, nrs)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Program returns the verified program (for disassembly/inspection).
+func (p *DeltaProbe) Program() *ebpf.Program { return p.prog }
+
+// Syscalls returns the traced syscall numbers.
+func (p *DeltaProbe) Syscalls() []int { return p.nrs }
+
+// Attach hooks the probe to raw_syscalls:sys_enter.
+func (p *DeltaProbe) Attach(tr *kernel.Tracer) error {
+	l, err := tr.Attach(kernel.RawSysEnter, p.prog)
+	if err != nil {
+		return err
+	}
+	p.link = l
+	return nil
+}
+
+// Detach removes the probe.
+func (p *DeltaProbe) Detach() {
+	if p.link != nil {
+		p.link.Detach()
+		p.link = nil
+	}
+}
+
+// DeltaSnapshot is a userspace copy of the in-kernel accumulator.
+type DeltaSnapshot struct {
+	Count   uint64 // deltas accumulated
+	SumNS   uint64 // sum of deltas in ns
+	SumSqUS uint64 // sum of squared deltas in us^2
+	FirstTS uint64
+	LastTS  uint64
+	Calls   uint64 // matched syscalls
+}
+
+// Snapshot reads the accumulator.
+func (p *DeltaProbe) Snapshot() DeltaSnapshot {
+	v := p.Stats.At(0)
+	return DeltaSnapshot{
+		Count:   binary.LittleEndian.Uint64(v[dsOffCount:]),
+		SumNS:   binary.LittleEndian.Uint64(v[dsOffSumNS:]),
+		SumSqUS: binary.LittleEndian.Uint64(v[dsOffSumSqUS:]),
+		FirstTS: binary.LittleEndian.Uint64(v[dsOffFirstTS:]),
+		LastTS:  binary.LittleEndian.Uint64(v[dsOffLastTS:]),
+		Calls:   binary.LittleEndian.Uint64(v[dsOffCalls:]),
+	}
+}
+
+// Reset zeroes the accumulator (a userspace map write, as a monitoring
+// agent would do between windows).
+func (p *DeltaProbe) Reset() {
+	v := p.Stats.At(0)
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Sub returns the delta-window between two cumulative snapshots
+// (s - prev), with first/last timestamps narrowed to the window.
+func (s DeltaSnapshot) Sub(prev DeltaSnapshot) DeltaSnapshot {
+	return DeltaSnapshot{
+		Count:   s.Count - prev.Count,
+		SumNS:   s.SumNS - prev.SumNS,
+		SumSqUS: s.SumSqUS - prev.SumSqUS,
+		FirstTS: prev.LastTS,
+		LastTS:  s.LastTS,
+		Calls:   s.Calls - prev.Calls,
+	}
+}
+
+// MeanDeltaNS returns the mean inter-call gap in nanoseconds.
+func (s DeltaSnapshot) MeanDeltaNS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}
+
+// RateObsv implements the paper's Eq. 1: calls per second estimated as
+// r / (t_r - t_1), i.e. the reciprocal of the mean delta.
+func (s DeltaSnapshot) RateObsv() float64 {
+	if s.Count == 0 || s.LastTS <= s.FirstTS {
+		return 0
+	}
+	return float64(s.Count) / (float64(s.LastTS-s.FirstTS) / 1e9)
+}
+
+// VarianceUS2 implements the paper's Eq. 2 in microsecond^2 units:
+// var = E[d^2] - E[d]^2 over the inter-call deltas.
+func (s DeltaSnapshot) VarianceUS2() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	n := float64(s.Count)
+	meanSq := s.MeanDeltaNS() / 1000
+	v := float64(s.SumSqUS)/n - meanSq*meanSq
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,158 @@
+package probes
+
+import (
+	"encoding/binary"
+
+	"reqlens/internal/ebpf"
+	"reqlens/internal/kernel"
+	"reqlens/internal/sim"
+)
+
+// StreamEvent is one decoded raw-trace record.
+type StreamEvent struct {
+	Time    sim.Time
+	PidTgid uint64
+	NR      int
+	Enter   bool
+	Ret     int64 // valid for exit records
+}
+
+// TID returns the thread id half of PidTgid.
+func (e StreamEvent) TID() int { return int(uint32(e.PidTgid)) }
+
+// TGID returns the process id half of PidTgid.
+func (e StreamEvent) TGID() int { return int(e.PidTgid >> 32) }
+
+// streamRecSize is the wire size of one ring buffer record:
+// ts, pid_tgid, id, kind, ret (5 x u64).
+const streamRecSize = 40
+
+// StreamProbe streams every syscall enter/exit of one process to a ring
+// buffer — the paper's "initially, we streamed all available eBPF trace
+// data to user space" mode, and the source of Fig. 1.
+type StreamProbe struct {
+	Ring  *ebpf.RingBuf
+	enter *ebpf.Program
+	exit  *ebpf.Program
+	links []*kernel.Link
+}
+
+// buildStreamProg builds the enter or exit variant.
+func buildStreamProg(name string, tgid int, isEnter bool) []ebpf.Instruction {
+	a := ebpf.NewAssembler()
+	emitTgidFilter(a, tgid)
+	// Record layout on the stack at [-40, 0):
+	//   -40 ts, -32 pid_tgid, -24 id, -16 kind, -8 ret
+	a.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	a.Emit(
+		ebpf.StoreMem(ebpf.R10, -40, ebpf.R0, ebpf.SizeDW),
+		ebpf.StoreMem(ebpf.R10, -32, ebpf.R9, ebpf.SizeDW),
+		ebpf.LoadMem(ebpf.R2, ebpf.R6, int16(kernel.CtxOffID), ebpf.SizeDW),
+		ebpf.StoreMem(ebpf.R10, -24, ebpf.R2, ebpf.SizeDW),
+	)
+	if isEnter {
+		a.Emit(
+			ebpf.StoreImm(ebpf.R10, -16, 1, ebpf.SizeDW),
+			ebpf.StoreImm(ebpf.R10, -8, 0, ebpf.SizeDW),
+		)
+	} else {
+		a.Emit(
+			ebpf.StoreImm(ebpf.R10, -16, 0, ebpf.SizeDW),
+			ebpf.LoadMem(ebpf.R3, ebpf.R6, int16(kernel.CtxOffRet), ebpf.SizeDW),
+			ebpf.StoreMem(ebpf.R10, -8, ebpf.R3, ebpf.SizeDW),
+		)
+	}
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdRingbuf))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -40),
+		ebpf.Mov64Imm(ebpf.R3, streamRecSize),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(ebpf.HelperRingbufOutput),
+	)
+	a.Label("out")
+	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	return a.MustAssemble()
+}
+
+// NewStreamProbe builds the streaming probe pair for tgid (0 = all),
+// with a ring buffer of capacity bytes.
+func NewStreamProbe(name string, tgid int, capacity int) (*StreamProbe, error) {
+	ring := ebpf.NewRingBuf(name+"_ring", capacity)
+	maps := map[int32]ebpf.Map{fdRingbuf: ring}
+	enter, err := ebpf.Load(ebpf.ProgramSpec{
+		Name: name + "_enter", Insns: buildStreamProg(name, tgid, true),
+		Maps: maps, CtxSize: kernel.SysEnterCtxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	exit, err := ebpf.Load(ebpf.ProgramSpec{
+		Name: name + "_exit", Insns: buildStreamProg(name, tgid, false),
+		Maps: maps, CtxSize: kernel.SysExitCtxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamProbe{Ring: ring, enter: enter, exit: exit}, nil
+}
+
+// MustNewStreamProbe panics on build failure.
+func MustNewStreamProbe(name string, tgid int, capacity int) *StreamProbe {
+	p, err := NewStreamProbe(name, tgid, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// EnterProgram returns the sys_enter program.
+func (p *StreamProbe) EnterProgram() *ebpf.Program { return p.enter }
+
+// ExitProgram returns the sys_exit program.
+func (p *StreamProbe) ExitProgram() *ebpf.Program { return p.exit }
+
+// Attach hooks both programs.
+func (p *StreamProbe) Attach(tr *kernel.Tracer) error {
+	le, err := tr.Attach(kernel.RawSysEnter, p.enter)
+	if err != nil {
+		return err
+	}
+	lx, err := tr.Attach(kernel.RawSysExit, p.exit)
+	if err != nil {
+		le.Detach()
+		return err
+	}
+	p.links = []*kernel.Link{le, lx}
+	return nil
+}
+
+// Detach removes both programs.
+func (p *StreamProbe) Detach() {
+	for _, l := range p.links {
+		l.Detach()
+	}
+	p.links = nil
+}
+
+// Drain decodes and removes all pending records.
+func (p *StreamProbe) Drain() []StreamEvent {
+	raw := p.Ring.Drain()
+	out := make([]StreamEvent, 0, len(raw))
+	for _, r := range raw {
+		if len(r) != streamRecSize {
+			continue
+		}
+		out = append(out, StreamEvent{
+			Time:    sim.Time(binary.LittleEndian.Uint64(r[0:])),
+			PidTgid: binary.LittleEndian.Uint64(r[8:]),
+			NR:      int(binary.LittleEndian.Uint64(r[16:])),
+			Enter:   binary.LittleEndian.Uint64(r[24:]) == 1,
+			Ret:     int64(binary.LittleEndian.Uint64(r[32:])),
+		})
+	}
+	return out
+}
+
+// Dropped returns how many records were lost to a full ring buffer.
+func (p *StreamProbe) Dropped() uint64 { return p.Ring.Dropped() }

@@ -1,0 +1,216 @@
+// Package sim provides a deterministic discrete-event simulation core.
+//
+// An Env owns a virtual clock and an event heap. Simulated concurrent
+// activities are modeled as Procs: goroutines that are resumed one at a
+// time by the event loop, so that for a fixed seed every run is
+// bit-for-bit reproducible. All inter-proc wake-ups travel through the
+// event heap (ordered by virtual time, then insertion sequence), never
+// by direct goroutine-to-goroutine handoff.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats t as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Env is a discrete-event simulation environment.
+type Env struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	rng      *rand.Rand
+	park     chan struct{} // running proc -> event loop handoff
+	procs    map[*Proc]struct{}
+	stopping bool
+	executed uint64
+}
+
+// NewEnv returns an environment with the virtual clock at zero. The seed
+// feeds every RNG stream derived via NewRNG, so equal seeds give equal runs.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		park:  make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Env) Executed() uint64 { return e.executed }
+
+// NewRNG returns an independent deterministic random stream derived from
+// the environment seed. Components should each hold their own stream so
+// that adding a component does not perturb the draws seen by others.
+func (e *Env) NewRNG() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Schedule arranges for fn to run at now+d. It returns the event so the
+// caller may cancel it. Scheduling in the past panics: it would break
+// the monotonicity of virtual time.
+func (e *Env) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past", d))
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time t.
+func (e *Env) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step runs the single next event, advancing the clock to it. It returns
+// false when no events remain.
+func (e *Env) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the heap is empty.
+func (e *Env) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then sets the clock to
+// t. Events scheduled beyond t remain pending.
+func (e *Env) RunUntil(t Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Env) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Env) peek() *Event {
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if ev.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// Pending returns the number of live (non-canceled) scheduled events.
+func (e *Env) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs returns the number of procs that have started and not finished.
+func (e *Env) LiveProcs() int { return len(e.procs) }
+
+// Shutdown terminates every live proc and drains their goroutines. Procs
+// blocked in Sleep, Park, or any derived primitive are woken and unwound
+// via a panic that the proc wrapper recovers. After Shutdown the
+// environment must not be reused.
+func (e *Env) Shutdown() {
+	e.stopping = true
+	for len(e.procs) > 0 {
+		for p := range e.procs {
+			if p.waiting {
+				p.activate()
+			}
+		}
+	}
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,125 @@
+package sim
+
+import "time"
+
+// killed is the sentinel panic value used to unwind a proc during Shutdown.
+type killed struct{}
+
+// Proc is a simulated thread of control. Its body runs on a dedicated
+// goroutine, but the event loop resumes at most one proc at a time, so
+// proc code needs no locking against other procs and execution order is
+// fully determined by the event heap.
+type Proc struct {
+	env     *Env
+	name    string
+	resume  chan struct{}
+	waiting bool // parked, waiting for activate
+	done    bool
+}
+
+// Spawn starts a new proc whose body begins executing at the current
+// virtual time (after already-scheduled events at this time).
+func (e *Env) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	p.waiting = true
+	e.Schedule(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killed); !ok {
+						panic(r)
+					}
+				}
+				p.done = true
+				delete(e.procs, p)
+				e.park <- struct{}{}
+			}()
+			<-p.resume
+			p.waiting = false
+			if e.stopping {
+				panic(killed{})
+			}
+			body(p)
+		}()
+		// Hand control to the new goroutine and wait for it to park.
+		p.resume <- struct{}{}
+		<-e.park
+	})
+	return p
+}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// activate resumes a parked proc and blocks until it parks again or
+// finishes. It must only be called from event-loop context (inside an
+// event callback), never from another proc's body.
+func (p *Proc) activate() {
+	if p.done || !p.waiting {
+		return
+	}
+	p.waiting = false
+	p.resume <- struct{}{}
+	<-p.env.park
+}
+
+// yield parks the proc and returns control to the event loop. The proc
+// resumes when some event calls activate. Must be called from the proc's
+// own goroutine.
+func (p *Proc) yield() {
+	p.waiting = true
+	p.env.park <- struct{}{}
+	<-p.resume
+	if p.env.stopping {
+		panic(killed{})
+	}
+}
+
+// Sleep suspends the proc for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	p.env.Schedule(d, p.activate)
+	p.yield()
+}
+
+// Park suspends the proc until another component wakes it via the
+// returned Waker. A proc parked without a pending waker event stays
+// parked until Shutdown.
+func (p *Proc) Park() {
+	p.yield()
+}
+
+// Waker wakes a parked proc through the event heap. Multiple Wake calls
+// before the proc runs collapse into one resume.
+type Waker struct {
+	p       *Proc
+	pending bool
+}
+
+// NewWaker returns a Waker bound to p.
+func (p *Proc) NewWaker() *Waker { return &Waker{p: p} }
+
+// Wake schedules the proc to resume at the current virtual time. Safe to
+// call from any proc body or event callback.
+func (w *Waker) Wake() {
+	if w.pending || w.p.done {
+		return
+	}
+	w.pending = true
+	w.p.env.Schedule(0, func() {
+		w.pending = false
+		w.p.activate()
+	})
+}
+
+// WakeAfter schedules the proc to resume after d. It returns the event
+// so callers may cancel the wake-up (e.g. a timeout raced by readiness).
+func (w *Waker) WakeAfter(d time.Duration) *Event {
+	return w.p.env.Schedule(d, func() { w.p.activate() })
+}

@@ -1,0 +1,289 @@
+// Package stats provides the statistical machinery used throughout the
+// reproduction: streaming moment accumulators (Welford), quantile
+// estimation over log-scaled histograms, and ordinary least squares
+// regression with R-squared and residual extraction, mirroring the
+// paper's evaluation methodology (Section IV-B).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates count, mean and variance of a stream in one pass
+// using Welford's algorithm. The zero value is ready to use.
+type Online struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// Merge folds another accumulator into o (parallel Welford merge).
+func (o *Online) Merge(p Online) {
+	if p.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = p
+		return
+	}
+	n1, n2 := float64(o.n), float64(p.n)
+	d := p.mean - o.mean
+	o.m2 += p.m2 + d*d*n1*n2/(n1+n2)
+	o.mean += d * n2 / (n1 + n2)
+	o.n += p.n
+	if p.min < o.min {
+		o.min = p.min
+	}
+	if p.max > o.max {
+		o.max = p.max
+	}
+}
+
+// N returns the number of samples.
+func (o *Online) N() uint64 { return o.n }
+
+// Mean returns the running mean, or 0 with no samples.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the population variance, or 0 with fewer than 2 samples.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// SampleVariance returns the n-1 variance, or 0 with fewer than 2 samples.
+func (o *Online) SampleVariance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Stddev returns the population standard deviation.
+func (o *Online) Stddev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (o *Online) Max() float64 { return o.max }
+
+// Reset clears the accumulator.
+func (o *Online) Reset() { *o = Online{} }
+
+// MomentVariance computes var = E[x^2] - E[x]^2 from raw first and second
+// moment sums, exactly as the paper's Eq. 2 computes it inside eBPF map
+// space. count is the number of samples behind the sums.
+func MomentVariance(sum, sumSq float64, count uint64) float64 {
+	if count == 0 {
+		return 0
+	}
+	n := float64(count)
+	mean := sum / n
+	v := sumSq/n - mean*mean
+	if v < 0 { // guard tiny negative from cancellation
+		return 0
+	}
+	return v
+}
+
+// Quantile returns the q-th quantile (0<=q<=1) of xs using linear
+// interpolation between closest ranks. It sorts a copy; xs is unchanged.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Quantiles returns several quantiles in one sort pass.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Normalize scales xs into [0,1] by its own min/max. A constant series
+// maps to all zeros. The input is unchanged; a new slice is returned.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	span := hi - lo
+	for i, x := range xs {
+		if span == 0 {
+			out[i] = 0
+		} else {
+			out[i] = (x - lo) / span
+		}
+	}
+	return out
+}
+
+// NormalizeByMax scales xs by its maximum (keeping zero at zero), the
+// normalization the paper uses for variance and duration plots.
+func NormalizeByMax(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	hi := 0.0
+	for _, x := range xs {
+		if x > hi {
+			hi = x
+		}
+	}
+	for i, x := range xs {
+		if hi == 0 {
+			out[i] = 0
+		} else {
+			out[i] = x / hi
+		}
+	}
+	return out
+}
+
+// LinearFit is an ordinary least squares fit y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	N         int
+}
+
+// FitLinear computes the OLS fit of y on x. Panics if the lengths differ;
+// returns a zero fit for fewer than 2 points or zero x-variance.
+func FitLinear(x, y []float64) LinearFit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: FitLinear length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinearFit{N: len(x)}
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{Intercept: my, N: len(x)}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx, N: len(x)}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		// R^2 = 1 - SSE/SST for the fitted line.
+		sse := syy - slope*sxy
+		fit.R2 = 1 - sse/syy
+	}
+	return fit
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// Residuals returns y[i] - Predict(x[i]) for each point, the quantity
+// plotted in the paper's Fig. 2 residual panels.
+func (f LinearFit) Residuals(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("stats: Residuals length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = y[i] - f.Predict(x[i])
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+func Pearson(x, y []float64) float64 {
+	f := FitLinear(x, y)
+	if f.Slope < 0 {
+		return -math.Sqrt(f.R2)
+	}
+	return math.Sqrt(f.R2)
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/sim"
+)
+
+// Request is one reconstructed request-handling episode from a
+// single-threaded handler's syscall timeline (the paper's Fig. 1(c)
+// case): poll-wait -> recv -> [compute] -> send.
+type Request struct {
+	TID       int
+	WaitStart sim.Time // poll enter (idle begins)
+	RecvAt    sim.Time // recv enter (request available)
+	SendAt    sim.Time // send enter (response leaves)
+	SendDone  sim.Time // send exit
+}
+
+// Idle is the time spent waiting for the request (poll duration part).
+func (r Request) Idle() time.Duration { return r.RecvAt.Sub(r.WaitStart) }
+
+// Service is the paper's service-time estimate: recv to send completion.
+func (r Request) Service() time.Duration { return r.SendDone.Sub(r.RecvAt) }
+
+// ReconstructRequests rebuilds per-request timelines from a syscall
+// event stream, independently per thread. It implements the paper's
+// Section III observation: when one thread handles a whole request, the
+// recv and send syscalls pair up and yield service time directly. The
+// reconstruction is conservative — an episode is emitted only when the
+// poll -> recv -> send sequence appears in order on one thread; anything
+// else (multi-thread handoff, pipelined drains where one poll feeds many
+// recvs) contributes nothing, which is exactly the paper's point about
+// the approach breaking down beyond simple servers.
+func ReconstructRequests(events []Event) []Request {
+	type threadState struct {
+		havePoll bool
+		haveRecv bool
+		cur      Request
+	}
+	states := make(map[uint64]*threadState)
+	var out []Request
+	for _, e := range events {
+		st := states[e.PidTgid]
+		if st == nil {
+			st = &threadState{}
+			states[e.PidTgid] = st
+		}
+		switch {
+		case kernel.PollFamily(e.NR) && e.Enter:
+			st.havePoll = true
+			st.haveRecv = false
+			st.cur = Request{TID: e.TID(), WaitStart: e.Time}
+		case kernel.RecvFamily(e.NR) && e.Enter && st.havePoll:
+			if st.haveRecv {
+				// Second recv after one poll: pipelined drain, not the
+				// simple single-request cycle; abandon the episode.
+				st.havePoll = false
+				st.haveRecv = false
+				continue
+			}
+			st.haveRecv = true
+			st.cur.RecvAt = e.Time
+		case kernel.SendFamily(e.NR) && st.havePoll && st.haveRecv:
+			if e.Enter {
+				st.cur.SendAt = e.Time
+				continue
+			}
+			if st.cur.SendAt == 0 {
+				continue
+			}
+			st.cur.SendDone = e.Time
+			out = append(out, st.cur)
+			st.havePoll = false
+			st.haveRecv = false
+		}
+	}
+	return out
+}
+
+// ServiceTimes extracts the service durations of reconstructed requests.
+func ServiceTimes(reqs []Request) []time.Duration {
+	out := make([]time.Duration, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Service()
+	}
+	return out
+}

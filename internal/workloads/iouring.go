@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/netsim"
+)
+
+// ioUringServer is the Section V-C limitation case: the same event-loop
+// cache server, but request receive and response send ride an io_uring-
+// style submission/completion queue. The only syscall left is an
+// occasional io_uring_enter when the completion queue runs dry — so the
+// paper's recv/send/poll probes observe (almost) nothing, and
+// syscall-derived metrics go blind.
+type ioUringServer struct {
+	spec     Spec
+	proc     *kernel.Process
+	listener *netsim.Listener
+}
+
+func (w *ioUringServer) Spec() Spec                 { return w.spec }
+func (w *ioUringServer) Process() *kernel.Process   { return w.proc }
+func (w *ioUringServer) Listener() *netsim.Listener { return w.listener }
+
+func launchIOUring(k *kernel.Kernel, n *netsim.Network, spec Spec, linkCfg netsim.Config) Server {
+	w := &ioUringServer{
+		spec:     spec,
+		proc:     k.NewProcess(spec.Name),
+		listener: n.Listen(linkCfg),
+	}
+	demand := newDemandSampler(k.Env().NewRNG(), spec.ServiceMean, spec.ServiceCV)
+	var mu kernel.Mutex
+
+	var conns [][]*netsim.Sock // per-worker connection sets
+	conns = make([][]*netsim.Sock, spec.Workers)
+
+	for i := 0; i < spec.Workers; i++ {
+		i := i
+		w.proc.SpawnThread(fmt.Sprintf("worker%d", i), func(t *kernel.Thread) {
+			for {
+				served := 0
+				for _, s := range conns[i] {
+					for {
+						m := s.TryRecvBypass()
+						if m == nil {
+							break
+						}
+						served++
+						serveOne(t, spec, demand.sample(), &mu)
+						s.SendBypass(&netsim.Message{ID: m.ID, Size: spec.RespSize, Payload: m.Payload})
+					}
+				}
+				if served == 0 {
+					// Completion queue dry: a single io_uring_enter to
+					// wait, then poll the CQ again. This is the only
+					// syscall footprint of the fast path.
+					t.Invoke(kernel.SysIoUringEnter, [6]uint64{}, func() int64 {
+						t.Sleep(200 * time.Microsecond)
+						return 0
+					})
+				}
+			}
+		})
+	}
+
+	w.proc.SpawnThread("main", func(t *kernel.Thread) {
+		emitSetup(t)
+		for i := 0; ; i++ {
+			s := w.listener.Accept(t)
+			conns[i%spec.Workers] = append(conns[i%spec.Workers], s)
+		}
+	})
+	return w
+}

@@ -1,0 +1,301 @@
+// Package workloads models the paper's nine latency-sensitive
+// applications (Section IV-A): five tailbench benchmarks, CloudSuite
+// Data Caching and Web Search, and the Triton inference server under
+// HTTP and gRPC. Each model reproduces the threading structure and the
+// request-oriented syscall signature the paper reports:
+//
+//	tailbench     recvfrom/sendto, select        worker pool
+//	data caching  read/sendmsg, epoll_wait       event-loop threads
+//	web search    read/write, epoll_wait         two processes (front/index)
+//	triton http   recvfrom/sendto, epoll_wait    dispatcher + workers
+//	triton grpc   recvmsg/sendmsg, epoll_wait    dispatcher + workers
+//
+// Service-time distributions are lognormal, calibrated so each workload
+// saturates near the failure RPS the paper reports for the AMD server
+// (Section IV-A): img-dnn 1950, xapian 970, silo 2100, specjbb 3700,
+// moses 900, data caching 62000, web search 420, triton 21.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"reqlens/internal/kernel"
+	"reqlens/internal/netsim"
+)
+
+// Model selects the request-handling thread structure.
+type Model int
+
+// Threading models observed across the paper's workloads.
+const (
+	// ModelWorkerPool: N threads, each owning connections; per thread:
+	// poll -> recv -> compute -> send (tailbench, data caching).
+	ModelWorkerPool Model = iota
+	// ModelTwoStage: a front-end process forwarding to an index/backend
+	// process over internal connections (CloudSuite Web Search).
+	ModelTwoStage
+	// ModelDispatcher: dedicated network threads receive requests and
+	// send responses; separate compute workers process them (Triton).
+	ModelDispatcher
+	// ModelIOUring: requests move through io_uring-style submission
+	// queues, bypassing recv/send syscalls entirely (Section V-C's
+	// limitation case).
+	ModelIOUring
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelWorkerPool:
+		return "worker-pool"
+	case ModelTwoStage:
+		return "two-stage"
+	case ModelDispatcher:
+		return "dispatcher"
+	case ModelIOUring:
+		return "io_uring"
+	}
+	return "?"
+}
+
+// Spec describes one workload.
+type Spec struct {
+	Name  string
+	Suite string
+	Model Model
+
+	RecvNR int // request-receiving syscall
+	SendNR int // response-sending syscall
+	PollNR int // readiness syscall
+
+	Workers    int // request-processing threads
+	NetThreads int // dispatcher model: network threads
+
+	// ServiceMean/ServiceCV parameterize the lognormal per-request CPU
+	// demand. For ModelTwoStage, FrontShare of the demand runs in the
+	// front-end process.
+	ServiceMean time.Duration
+	ServiceCV   float64
+	FrontShare  float64
+
+	// FailureRPS is the paper-reported load at which the workload fails
+	// QoS on the AMD server; used to place sweep ranges.
+	FailureRPS float64
+	// QoS is the tail-latency limit used to locate the failure point.
+	QoS time.Duration
+
+	RespSize int // response message bytes
+	ReqSize  int // request message bytes
+
+	// MaintenanceEvery triggers a queue-maintenance sweep (LRU walk, GC,
+	// allocator housekeeping) after this many requests per worker; its
+	// cost grows with the pending backlog, capped at MaintenanceCap, and
+	// runs under the shared lock. This is the paper's "accumulation of
+	// pending requests ... overloading the application's queue management
+	// system": negligible below saturation, a global stall source past it.
+	MaintenanceEvery   int
+	MaintenancePerItem time.Duration
+	MaintenanceCap     time.Duration
+
+	// LockShare is the fraction of each request's CPU demand spent inside
+	// a shared critical section (queue/LRU/index maintenance). Under CPU
+	// saturation, lock-holder preemption turns this into convoys — the
+	// application-level contention the paper identifies as the source of
+	// the variance signal (Fig. 3). Zero models a contention-free server
+	// (the paper's "simple application" case, which lacks the signal).
+	LockShare float64
+}
+
+// String identifies the workload.
+func (s Spec) String() string { return fmt.Sprintf("%s/%s", s.Suite, s.Name) }
+
+// ServerCores is the CPU allocation every workload server runs with.
+// Capacity is roughly ServerCores / ServiceMean requests per second.
+const ServerCores = 8
+
+// serviceFor derives the mean per-request server demand that saturates
+// at the paper's failure RPS given the core allocation, accounting for
+// the co-located client's per-request CPU (the paper runs client and
+// server containers on one host): budget = s + 2*clientPerOp(s).
+// calib derates the analytic capacity for the overheads the analytic
+// formula ignores — context switches, futex convoys, maintenance sweeps,
+// probe cost — so the measured failure point lands at the paper's
+// failure RPS. Tuned empirically per threading model (EXPERIMENTS.md).
+func serviceFor(failRPS, calib float64) time.Duration {
+	budget := float64(ServerCores) / failRPS * float64(time.Second)
+	s := budget / (1 + 2*clientShare)
+	if clientShare*s > float64(maxClientPerOp) {
+		s = budget - 2*float64(maxClientPerOp)
+	}
+	return time.Duration(s * calib)
+}
+
+// Client-side request handling cost: a share of the service time,
+// capped — building an HTTP request does not scale with a 400ms
+// inference.
+const (
+	clientShare    = 0.05
+	maxClientPerOp = 500 * time.Microsecond
+)
+
+// ClientPerOpCost returns the co-located client's CPU cost per send and
+// per receive for this workload.
+func (s Spec) ClientPerOpCost() time.Duration {
+	c := time.Duration(clientShare * float64(s.ServiceMean))
+	if c > maxClientPerOp {
+		c = maxClientPerOp
+	}
+	return c
+}
+
+func tailbench(name string, failRPS, cv, lockShare float64) Spec {
+	mean := serviceFor(failRPS, 0.97)
+	return Spec{
+		Name: name, Suite: "tailbench", Model: ModelWorkerPool,
+		RecvNR: kernel.SysRecvfrom, SendNR: kernel.SysSendto, PollNR: kernel.SysSelect,
+		Workers:     2 * ServerCores,
+		ServiceMean: mean, ServiceCV: cv,
+		FailureRPS: failRPS, QoS: 10 * mean,
+		ReqSize: 256, RespSize: 1024,
+		LockShare:        lockShare,
+		MaintenanceEvery: 64, MaintenancePerItem: 50 * time.Microsecond, MaintenanceCap: 10 * time.Millisecond,
+	}
+}
+
+// ImgDNN is tailbench img-dnn: image recognition, tight service times.
+func ImgDNN() Spec { return tailbench("img-dnn", 1950, 0.25, 0.08) }
+
+// Xapian is tailbench xapian: search over an index, variable work.
+func Xapian() Spec { return tailbench("xapian", 970, 0.8, 0.10) }
+
+// Silo is tailbench silo: in-memory OLTP, short and regular.
+func Silo() Spec { return tailbench("silo", 2100, 0.45, 0.12) }
+
+// SpecJBB is tailbench specjbb: Java middleware, moderate variance.
+func SpecJBB() Spec { return tailbench("specjbb", 3700, 0.6, 0.10) }
+
+// Moses is tailbench moses: statistical machine translation, heavy tail.
+func Moses() Spec { return tailbench("moses", 900, 1.1, 0.08) }
+
+// DataCaching is CloudSuite Data Caching (memcached): epoll event-loop
+// threads, read/sendmsg, very short service times.
+func DataCaching() Spec {
+	mean := serviceFor(62000, 0.72)
+	return Spec{
+		Name: "data-caching", Suite: "cloudsuite", Model: ModelWorkerPool,
+		RecvNR: kernel.SysRead, SendNR: kernel.SysSendmsg, PollNR: kernel.SysEpollWait,
+		Workers:     2 * ServerCores,
+		ServiceMean: mean, ServiceCV: 0.6,
+		FailureRPS: 62000, QoS: 10 * mean,
+		ReqSize: 128, RespSize: 1024,
+		LockShare:        0.10,
+		MaintenanceEvery: 512, MaintenancePerItem: time.Microsecond, MaintenanceCap: 2 * time.Millisecond,
+	}
+}
+
+// WebSearch is CloudSuite Web Search: front-end + index-search processes,
+// read/write on both the client and the internal hop — the extra
+// same-syscall traffic behind the paper's lowest R^2 (0.86).
+func WebSearch() Spec {
+	mean := serviceFor(420, 0.99)
+	return Spec{
+		Name: "web-search", Suite: "cloudsuite", Model: ModelTwoStage,
+		RecvNR: kernel.SysRead, SendNR: kernel.SysWrite, PollNR: kernel.SysEpollWait,
+		Workers:     2 * ServerCores,
+		ServiceMean: mean, ServiceCV: 0.9, FrontShare: 0.1,
+		FailureRPS: 420, QoS: 10 * mean,
+		ReqSize: 512, RespSize: 4096,
+		LockShare:        0.10,
+		MaintenanceEvery: 64, MaintenancePerItem: 50 * time.Microsecond, MaintenanceCap: 10 * time.Millisecond,
+	}
+}
+
+// TritonHTTP is the Triton inference server over HTTP: dispatcher network
+// threads with recvfrom/sendto, heavyweight inference workers.
+func TritonHTTP() Spec {
+	mean := serviceFor(21, 0.92)
+	return Spec{
+		Name: "triton-http", Suite: "triton", Model: ModelDispatcher,
+		RecvNR: kernel.SysRecvfrom, SendNR: kernel.SysSendto, PollNR: kernel.SysEpollWait,
+		Workers: ServerCores, NetThreads: 2,
+		ServiceMean: mean, ServiceCV: 0.10,
+		FailureRPS: 21, QoS: 10 * mean,
+		ReqSize: 16 * 1024, RespSize: 8 * 1024,
+		LockShare:        0.05,
+		MaintenanceEvery: 2, MaintenancePerItem: time.Millisecond, MaintenanceCap: 20 * time.Millisecond,
+	}
+}
+
+// TritonGRPC is Triton over gRPC: identical structure, recvmsg/sendmsg.
+func TritonGRPC() Spec {
+	s := TritonHTTP()
+	s.Name = "triton-grpc"
+	s.RecvNR = kernel.SysRecvmsg
+	s.SendNR = kernel.SysSendmsg
+	return s
+}
+
+// DataCachingIOUring is the Section V-C limitation variant: the same
+// event-loop cache server moved onto an io_uring-style interface, so
+// request receive/send generate no traceable syscalls.
+func DataCachingIOUring() Spec {
+	s := DataCaching()
+	s.Name = "data-caching-iouring"
+	s.Model = ModelIOUring
+	return s
+}
+
+// All returns the paper's nine evaluated workloads, in the paper's order.
+func All() []Spec {
+	return []Spec{
+		ImgDNN(), Xapian(), Silo(), SpecJBB(), Moses(),
+		DataCaching(), WebSearch(), TritonHTTP(), TritonGRPC(),
+	}
+}
+
+// ByName returns the named workload spec.
+func ByName(name string) (Spec, bool) {
+	for _, s := range append(All(), DataCachingIOUring()) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// demandSampler draws lognormal per-request CPU demands with the spec's
+// mean and coefficient of variation.
+type demandSampler struct {
+	rng   *rand.Rand
+	mu    float64
+	sigma float64
+}
+
+func newDemandSampler(rng *rand.Rand, mean time.Duration, cv float64) *demandSampler {
+	if cv <= 0 {
+		cv = 0.01
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	return &demandSampler{rng: rng, mu: mu, sigma: sigma}
+}
+
+func (d *demandSampler) sample() time.Duration {
+	v := math.Exp(d.mu + d.sigma*d.rng.NormFloat64())
+	if v < 1000 { // floor at 1us so demands stay physical
+		v = 1000
+	}
+	return time.Duration(v)
+}
+
+// Server is a launched workload instance.
+type Server interface {
+	// Spec returns the workload description.
+	Spec() Spec
+	// Process returns the client-facing process — the probe target.
+	Process() *kernel.Process
+	// Listener is where clients dial.
+	Listener() *netsim.Listener
+}

@@ -1,0 +1,24 @@
+# Developer entry points. `make check` is the gate each PR must pass.
+
+.PHONY: check test race bench fmt vet build
+
+check: ## gofmt + vet + build + tests + race on the harness
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race: ## the parallel engine's safety gate
+	go test -race ./internal/harness/...
+
+bench: ## regenerate every table/figure at bench scale
+	go test -bench=. -benchmem
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

@@ -273,6 +273,37 @@ func BenchmarkAblationDatagramNetwork(b *testing.B) {
 	}
 }
 
+// --- Parallel experiment engine ---
+
+// BenchmarkSweepParallelism runs the same multi-level SaturationSweep
+// sequentially (Parallelism=1) and on the worker-pool engine
+// (Parallelism=4): identical results, different wall-clock. True
+// speedup is the ns/op ratio between the two sub-benchmarks — expect
+// >= 2x on a 4+ core machine and none on a single core. The
+// "concurrency" metric is the engine's own accounting of average
+// points in flight.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			opt := harness.Quick()
+			opt.Levels = []float64{0.3, 0.5, 0.7, 0.8, 0.9, 1.0}
+			opt.Parallelism = par
+			var last harness.RunStats
+			opt.Stats = func(s harness.RunStats) { last = s }
+			var res harness.SweepResult
+			for i := 0; i < b.N; i++ {
+				res = harness.SaturationSweep(workloads.Silo(), opt)
+			}
+			b.StopTimer()
+			if len(res.Points) != len(opt.Levels) {
+				b.Fatalf("points = %d", len(res.Points))
+			}
+			b.ReportMetric(last.Concurrency(), "concurrency")
+			b.ReportMetric(float64(last.Workers), "workers")
+		})
+	}
+}
+
 // --- Substrate microbenchmarks ---
 
 func BenchmarkEBPFInterpreterListing1(b *testing.B) {

@@ -14,7 +14,10 @@
 //	reqlens all   [flags]               # everything above
 //
 // -quick shrinks windows/levels for a fast smoke run; -workload selects
-// one workload (default: all nine).
+// one workload (default: all nine); -parallel N fans independent load
+// points across N workers (0 = GOMAXPROCS, 1 = sequential — results are
+// identical either way, only wall-clock changes); -progress logs each
+// completed point and the engine's timing summary to stderr.
 package main
 
 import (
@@ -44,6 +47,8 @@ func main() {
 	name := fs.String("workload", "", "single workload name (default: all)")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	intel := fs.Bool("intel", false, "use the Intel Xeon profile instead of AMD")
+	parallel := fs.Int("parallel", 0, "experiment-point workers: 0 = GOMAXPROCS, 1 = sequential")
+	progress := fs.Bool("progress", false, "log per-point completion and engine timing to stderr")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -55,6 +60,16 @@ func main() {
 	}
 	if *intel {
 		opt.Profile = machine.Intel()
+	}
+	opt.Parallelism = *parallel
+	if *progress {
+		opt.Progress = func(p harness.PointDone) {
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %8v (worker %d)\n",
+				p.Index+1, p.Total, p.Label, p.Wall.Round(time.Millisecond), p.Worker)
+		}
+		opt.Stats = func(s harness.RunStats) {
+			fmt.Fprintln(os.Stderr, "engine:", s)
+		}
 	}
 
 	specs := workloads.All()

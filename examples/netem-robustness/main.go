@@ -7,10 +7,15 @@
 // server-side syscalls already happened by the time the network drops
 // the packet.
 //
-//	go run ./examples/netem-robustness
+// The two configurations are independent simulations, so they are
+// dispatched through the harness's parallel experiment engine:
+//
+//	go run ./examples/netem-robustness             # workers = GOMAXPROCS
+//	go run ./examples/netem-robustness -parallel 1 # sequential, same output
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -19,7 +24,7 @@ import (
 	"reqlens/internal/workloads"
 )
 
-func run(name string, cfg netsim.Config) {
+func measure(cfg netsim.Config) harness.Measurement {
 	spec := workloads.TritonGRPC()
 	rig := harness.NewRig(spec, harness.RigOptions{
 		Seed:   11,
@@ -30,21 +35,33 @@ func run(name string, cfg netsim.Config) {
 	rig.Warmup(20 * time.Second) // low RPS: wide warmup for stable stats
 	m := rig.Measure(60 * time.Second)
 	rig.Close()
-
-	fmt.Printf("%-18s | p99 %12v | p50 %12v | RPS_obsv %6.1f | epoll %10v | var %8.0f us2\n",
-		name,
-		m.Load.P99.Round(time.Millisecond),
-		m.Load.P50.Round(time.Millisecond),
-		m.RPSObsv,
-		time.Duration(m.PollMeanNS).Round(time.Microsecond),
-		m.SendVarUS2)
+	return m
 }
 
 func main() {
+	parallel := flag.Int("parallel", 0, "engine workers: 0 = GOMAXPROCS, 1 = sequential")
+	flag.Parse()
+
 	fmt.Println("Triton-gRPC at 60% load under two network configurations:")
 	fmt.Println()
-	run("clean link", netsim.Config{})
-	run("10ms + 1% loss", netsim.Config{Delay: 10 * time.Millisecond, Loss: 0.01})
+
+	cfgs := []netsim.Config{{}, {Delay: 10 * time.Millisecond, Loss: 0.01}}
+	names := []string{"clean link", "10ms + 1% loss"}
+	opt := harness.ExpOptions{Parallelism: *parallel}
+	ms, stats := harness.RunPoints(opt, names, func(i int) harness.Measurement {
+		return measure(cfgs[i])
+	})
+	for i, m := range ms {
+		fmt.Printf("%-18s | p99 %12v | p50 %12v | RPS_obsv %6.1f | epoll %10v | var %8.0f us2\n",
+			names[i],
+			m.Load.P99.Round(time.Millisecond),
+			m.Load.P50.Round(time.Millisecond),
+			m.RPSObsv,
+			time.Duration(m.PollMeanNS).Round(time.Microsecond),
+			m.SendVarUS2)
+	}
+	fmt.Println()
+	fmt.Println("engine:", stats)
 	fmt.Println()
 	fmt.Println("Client-perceived tail latency degrades markedly under loss; the")
 	fmt.Println("in-kernel signals stay put (Table II / Fig. 5): saturation metrics are")

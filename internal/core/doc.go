@@ -1,0 +1,37 @@
+// Package core is the reproduction's primary contribution: a library
+// for in-kernel observability of request-level metrics of
+// latency-sensitive applications, built purely from eBPF syscall
+// tracing — no userspace cooperation from the observed application.
+//
+// An Observer attaches the paper's probe set to a process and exposes
+// windowed request-level metrics:
+//
+//   - Window.RPSObsv — throughput estimated from send-family
+//     inter-syscall deltas (Eq. 1: RPS = 1/mean(dt_send)), the Fig. 2 /
+//     Table II estimator;
+//   - send/recv delta variance (Eq. 2) — the saturation signal of
+//     Fig. 3;
+//   - mean poll (epoll_wait/select) duration — the idleness/saturation
+//     slack signal of Fig. 4.
+//
+// SaturationDetector and SlackEstimator turn those raw signals into
+// decisions a management runtime (DVFS governor, core allocator,
+// autoscaler) can act on, as motivated in Sections I and VI; see
+// examples/saturation-monitor and examples/blackbox-autoscaler.
+//
+// Key entry points:
+//
+//   - Attach / MustAttach — wire the probe set to a kernel.Kernel for
+//     one tgid (Config selects the send/recv/poll syscall families);
+//     Observer.Sample closes the current observation window and opens
+//     the next.
+//   - NewSaturationDetector — variance-anomaly alarm over Eq. 2.
+//   - NewSlackEstimator — normalized idle headroom from poll durations.
+//   - AttachStages / MultiObserver — per-stage observers across a
+//     multi-process pipeline, naming the bottleneck stage (the Section
+//     V-B prescription for microservice-style workloads).
+//
+// The experiment harness (internal/harness) evaluates this library
+// against client-side ground truth; this package itself never reads
+// anything an in-kernel deployment wouldn't have.
+package core

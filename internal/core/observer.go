@@ -1,20 +1,3 @@
-// Package core is the reproduction's primary contribution: a library
-// for in-kernel observability of request-level metrics of
-// latency-sensitive applications, built purely from eBPF syscall
-// tracing — no userspace cooperation from the observed application.
-//
-// An Observer attaches the paper's probe set to a process and exposes
-// windowed request-level metrics:
-//
-//   - RPSObsv — throughput estimated from send-family inter-syscall
-//     deltas (Eq. 1: RPS = 1/mean(dt_send));
-//   - send/recv delta variance (Eq. 2) — the saturation signal of Fig. 3;
-//   - mean poll (epoll_wait/select) duration — the idleness/saturation
-//     slack signal of Fig. 4.
-//
-// SaturationDetector and SlackEstimator turn those raw signals into
-// decisions a management runtime (DVFS governor, core allocator,
-// autoscaler) can act on, as motivated in Sections I and VI.
 package core
 
 import (

@@ -1,0 +1,32 @@
+// Package ebpf implements a faithful, self-contained eBPF execution
+// environment: the classic 64-bit register ISA with the real
+// instruction encoding, an assembler and disassembler, hash/array/
+// ring-buffer maps, a static verifier enforcing the kernel's headline
+// constraints (no back-edges, bounded stack, checked pointer
+// arithmetic, mandatory null checks on map lookups), and an interpreter
+// that charges a deterministic per-instruction cost so probe overhead
+// can be measured (the Section VI study).
+//
+// The subset implemented is the subset the paper's probes need (Listing
+// 1 and the in-kernel statistics programs), but the encoding and the
+// verifier rules follow the Linux uapi so the programs read like real
+// BPF: JMP32, atomic adds (BPF_XADD), LRU hashes, and ring buffers are
+// supported, and the verifier is fuzzed for soundness.
+//
+// Key entry points:
+//
+//   - NewAssembler — build programs from instruction constructors
+//     (Mov64Reg, JumpImm, LoadMapFD, ...); Disassemble prints them
+//     (`cmd/bpfasm` shows the probe listings).
+//   - Load / MustLoad — verify a ProgramSpec and return a runnable
+//     Program; Program.Run interprets it against a context and a
+//     HelperEnv.
+//   - NewHashMap / NewLRUHashMap / NewArrayMap / NewRingBuf — map
+//     types; Map is their shared interface.
+//   - HelperEnv — the helper surface programs call
+//     (ktime_get_ns, get_current_pid_tgid, map ops, ringbuf output).
+//
+// internal/probes assembles the paper's actual programs against this
+// package; internal/kernel dispatches them on syscall tracepoints and
+// charges their cost to the traced thread.
+package ebpf

@@ -1,14 +1,3 @@
-// Package ebpf implements a faithful, self-contained eBPF execution
-// environment: the classic 64-bit register ISA with the real instruction
-// encoding, an assembler and disassembler, hash/array/ring-buffer maps,
-// a static verifier enforcing the kernel's headline constraints (no
-// back-edges, bounded stack, checked pointer arithmetic, mandatory
-// null checks on map lookups), and an interpreter that charges a
-// deterministic per-instruction cost so probe overhead can be measured.
-//
-// The subset implemented is the subset the paper's probes need (Listing 1
-// and the in-kernel statistics programs), but the encoding and the
-// verifier rules follow the Linux uapi so the programs read like real BPF.
 package ebpf
 
 import (

@@ -1,0 +1,47 @@
+// Package harness assembles full experiments and regenerates every
+// figure and table of the paper's evaluation: a simulated server
+// machine running one workload, a client machine generating open-loop
+// load over a netem-shaped link, and the paper's eBPF probes attached
+// to the server's tracepoints.
+//
+// # Rigs
+//
+// A Rig is one fully wired experiment instance — sim.Env, kernels,
+// network, workload server, load client, and (optionally) the
+// core.Observer under evaluation. NewRig builds one from a
+// workloads.Spec and RigOptions; Warmup advances it to steady state;
+// Measure returns one window of paired ground truth and eBPF
+// observations; Close reclaims its goroutines. Rigs share no mutable
+// state, so independent rigs may run concurrently.
+//
+// # Experiment drivers
+//
+// Each paper artifact has a driver taking an ExpOptions:
+//
+//   - Fig1 — raw syscall stream capture and phase segmentation.
+//   - Fig2 — the RPS_obsv vs RPS_real correlation study (Eq. 1).
+//   - SaturationSweep — the Fig. 3 (send-delta variance) and Fig. 4
+//     (poll duration) load sweeps with the QoS crossing located.
+//   - Fig5 — tail latency vs in-kernel signals under packet loss.
+//   - Table2 — R^2 of the Fig. 2 fit under netem configurations.
+//   - Overhead — the Section VI probe-cost A/B study.
+//   - IOUring — the Section V-C blind-spot demonstration.
+//
+// RenderFig1..RenderOverhead print each result as the ASCII analogue of
+// the paper's figure (`cmd/reqlens` wraps them all).
+//
+// # The parallel experiment engine
+//
+// Drivers decompose their protocol into independent points — one
+// (workload, netem, load level) measurement on its own Rig — and hand
+// them to RunPoints, a bounded worker pool (ExpOptions.Parallelism;
+// GOMAXPROCS by default). Per-point seeds are derived as ExpOptions.Seed
+// + int64(levelIndex) and results are reassembled in point order, so
+// output is bit-identical to a sequential run at any parallelism —
+// TestParallelSweepDeterminism asserts it. ExpOptions.Progress streams
+// per-point completions; ExpOptions.Stats reports batch timing
+// (RunStats).
+//
+// Quick returns the reduced scale used by tests; the zero ExpOptions is
+// paper scale.
+package harness

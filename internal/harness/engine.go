@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file is the parallel experiment engine. Every figure/table driver
+// in this package decomposes its protocol into independent *points* — a
+// (workload, netem, load level) tuple measured on its own Rig — and hands
+// them to RunPoints, which fans them out across a bounded worker pool.
+//
+// The engine preserves the sequential drivers' semantics exactly:
+//
+//   - Each point derives its own seed (the drivers use opt.Seed +
+//     int64(levelIndex)), builds a private Rig with a private sim.Env,
+//     and never shares mutable state with other points. A point's result
+//     therefore depends only on its inputs, not on scheduling.
+//   - Results are written to the slot matching the point's index, so the
+//     assembled output is bit-identical to a sequential run regardless of
+//     completion order or worker count. TestParallelSweepDeterminism
+//     asserts this.
+//
+// Only wall-clock accounting (RunStats, PointDone.Wall) reflects real
+// time and real scheduling; it never feeds back into results.
+
+// PointDone reports the completion of one experiment point to an
+// ExpOptions.Progress callback. Under parallelism points complete in
+// nondeterministic order; Index identifies the point within its batch.
+type PointDone struct {
+	Index  int           // point index within the batch, 0-based
+	Total  int           // number of points in the batch
+	Label  string        // human-readable point description, e.g. "silo level=0.50"
+	Wall   time.Duration // real wall-clock time the point took
+	Worker int           // worker slot that ran the point (0..Workers-1)
+}
+
+// RunStats is the engine's aggregate wall-clock accounting for one
+// RunPoints batch. It is reported through ExpOptions.Stats and returned
+// by RunPoints; it is deliberately kept out of experiment results so
+// that parallel and sequential runs produce identical result values.
+type RunStats struct {
+	Points    int             // points in the batch
+	Workers   int             // resolved worker count
+	Wall      time.Duration   // wall-clock of the whole batch
+	PointWall []time.Duration // per-point wall-clock, in point order
+}
+
+// TotalPointWall returns the summed per-point wall-clock. Note that
+// under parallelism each point's wall includes time spent descheduled
+// in favor of other points, so this sum can exceed what a sequential
+// run would pay; true speedup is measured by comparing the Wall of two
+// runs (see BenchmarkSweepParallelism).
+func (s RunStats) TotalPointWall() time.Duration {
+	var t time.Duration
+	for _, w := range s.PointWall {
+		t += w
+	}
+	return t
+}
+
+// Concurrency returns TotalPointWall/Wall: the average number of points
+// in flight over the batch (1 for sequential runs, →Workers when the
+// pool stays saturated).
+func (s RunStats) Concurrency() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.TotalPointWall()) / float64(s.Wall)
+}
+
+// String formats the stats as a one-line summary.
+func (s RunStats) String() string {
+	return fmt.Sprintf("%d points / %d workers in %v (point sum %v, concurrency %.2fx)",
+		s.Points, s.Workers, s.Wall.Round(time.Millisecond),
+		s.TotalPointWall().Round(time.Millisecond), s.Concurrency())
+}
+
+// workers resolves the effective worker count for a batch of n points:
+// ExpOptions.Parallelism when positive, else GOMAXPROCS, capped at n.
+func (o ExpOptions) workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunPoints runs fn(i) for every point i in [0, len(labels)) across a
+// bounded worker pool and returns the results in point order. fn must be
+// a pure function of its index (each call typically builds, drives, and
+// closes one Rig); it must not share mutable state across points. The
+// labels name the points for progress reporting.
+//
+// The worker count is opt.Parallelism, or GOMAXPROCS when zero; a count
+// of 1 degenerates to a plain sequential loop. Whatever the count,
+// results are identical — parallelism changes only wall-clock time.
+// opt.Progress (if set) is invoked exactly once per completed point,
+// serialized; opt.Stats (if set) receives the batch's aggregate timing.
+func RunPoints[T any](opt ExpOptions, labels []string, fn func(i int) T) ([]T, RunStats) {
+	n := len(labels)
+	out := make([]T, n)
+	stats := RunStats{
+		Points:    n,
+		Workers:   opt.workers(n),
+		PointWall: make([]time.Duration, n),
+	}
+	if n == 0 {
+		if opt.Stats != nil {
+			opt.Stats(stats)
+		}
+		return out, stats
+	}
+
+	start := time.Now()
+	var mu sync.Mutex // serializes Progress callbacks
+	runOne := func(i, worker int) {
+		t0 := time.Now()
+		out[i] = fn(i)
+		wall := time.Since(t0)
+		stats.PointWall[i] = wall
+		if opt.Progress != nil {
+			mu.Lock()
+			opt.Progress(PointDone{
+				Index: i, Total: n, Label: labels[i],
+				Wall: wall, Worker: worker,
+			})
+			mu.Unlock()
+		}
+	}
+
+	if stats.Workers == 1 {
+		for i := 0; i < n; i++ {
+			runOne(i, 0)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < stats.Workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for i := range idx {
+					runOne(i, worker)
+				}
+			}(w)
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	stats.Wall = time.Since(start)
+	if opt.Stats != nil {
+		opt.Stats(stats)
+	}
+	return out, stats
+}
+
+// levelLabels names one point per load level, e.g. "silo level=0.50".
+func levelLabels(prefix string, levels []float64) []string {
+	ls := make([]string, len(levels))
+	for i, l := range levels {
+		ls[i] = fmt.Sprintf("%s level=%.2f", prefix, l)
+	}
+	return ls
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"reqlens/internal/machine"
@@ -11,21 +12,83 @@ import (
 	"reqlens/internal/workloads"
 )
 
-// ExpOptions controls experiment scale. The zero value is paper scale;
-// Quick() shrinks everything for tests.
+// ExpOptions controls experiment scale and execution. The zero value is
+// paper scale; Quick shrinks everything for tests, and withDefaults
+// fills any field left zero. Every figure/table driver accepts one.
+//
+// Determinism: for a fixed Seed, results are bit-identical across runs
+// and across Parallelism settings — each load-level point runs on an
+// isolated Rig seeded with Seed + int64(levelIndex), so neither real
+// time nor goroutine scheduling can leak into results.
 type ExpOptions struct {
-	Seed           int64
-	Profile        machine.Profile // zero = AMD
-	Netem          netsim.Config
-	MinSends       int       // sends per estimation window (paper: >= 2048)
-	Estimates      int       // estimation windows per load level (paper: 10)
-	Levels         []float64 // load fractions of the paper's failure RPS
-	Warmup         time.Duration
-	OverWarm       time.Duration // extra warmup for overloaded points
-	Poisson        bool
+	// Seed is the root seed of every simulation the experiment builds.
+	// Point li of a sweep uses Seed + int64(li). 0 defaults to 42.
+	Seed int64
+
+	// Profile selects the server hardware model (Table I). The zero
+	// value is the AMD EPYC 7302 profile; machine.Intel() is the other.
+	Profile machine.Profile
+
+	// Netem shapes the client-server link (delay/jitter/loss), as tc
+	// netem does in the paper's Section V. Zero value: ideal link.
+	Netem netsim.Config
+
+	// MinSends is the minimum number of send-family syscalls an
+	// estimation window must contain; windowFor sizes the measurement
+	// window as MinSends/rate with 20% slack (floor 50ms). The paper
+	// uses >= 2048. 0 defaults to 2048.
+	MinSends int
+
+	// Estimates is the number of estimation windows taken per load
+	// level in Fig2-style protocols (paper: 10). 0 defaults to 10.
+	Estimates int
+
+	// Levels are the load points of a sweep, as fractions of the
+	// workload's failure RPS (1.0 = the paper's reported failure point;
+	// >1.0 drives the server past saturation). Empty defaults to
+	// 0.1..1.0 in steps of 0.1.
+	Levels []float64
+
+	// Warmup is simulated time driven before measuring each point, so
+	// connections are established and queues reach steady state.
+	// 0 defaults to 2s (simulated, not wall-clock).
+	Warmup time.Duration
+
+	// OverWarm replaces Warmup for overloaded points (level >= 0.95),
+	// giving backlogs time to accumulate — the Fig. 3 variance knee
+	// needs the queue-management stalls that only a developed backlog
+	// produces. 0 defaults to 12s.
+	OverWarm time.Duration
+
+	// Poisson switches the load generator from fixed-rate pacing to
+	// exponential interarrivals (ablation; the paper paces).
+	Poisson bool
+
+	// SeparateClient places the load generator on its own simulated
+	// machine instead of co-locating it with the server (ablation; the
+	// paper co-locates both containers on one host).
 	SeparateClient bool
+
+	// Parallelism bounds how many independent experiment points the
+	// engine (RunPoints) runs concurrently: 0 means GOMAXPROCS, 1
+	// forces the sequential path. Results are identical at any setting;
+	// only wall-clock time changes. Quick() leaves it 0.
+	Parallelism int
+
+	// Progress, when non-nil, is invoked once per completed experiment
+	// point (serialized, from engine goroutines). Completion order is
+	// nondeterministic under parallelism; PointDone.Index identifies
+	// the point.
+	Progress func(PointDone)
+
+	// Stats, when non-nil, receives aggregate wall-clock accounting
+	// after each point batch an experiment driver issues.
+	Stats func(RunStats)
 }
 
+// withDefaults fills zero-valued scale fields; see the field docs for
+// the default of each. Parallelism, Netem, Profile, and the callbacks
+// are left as given (their zero values are meaningful).
 func (o ExpOptions) withDefaults() ExpOptions {
 	if o.MinSends == 0 {
 		o.MinSends = 2048
@@ -48,7 +111,9 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	return o
 }
 
-// Quick returns a reduced-scale configuration for unit tests.
+// Quick returns a reduced-scale configuration for unit tests: small
+// windows (128 sends), 3 estimates over 3 levels, short warmups. Fields
+// it leaves zero (Seed, Parallelism, ...) still pick up withDefaults.
 func Quick() ExpOptions {
 	return ExpOptions{
 		MinSends:  128,
@@ -60,8 +125,12 @@ func Quick() ExpOptions {
 }
 
 // windowFor sizes a measurement window to gather at least minSends send
-// syscalls at the given rate.
+// syscalls at the given rate, with 20% slack and a 50ms floor. A
+// non-positive rate or send budget returns the floor.
 func windowFor(minSends int, rate float64) time.Duration {
+	if minSends <= 0 || rate <= 0 {
+		return 50 * time.Millisecond
+	}
 	w := time.Duration(float64(minSends) / rate * float64(time.Second) * 1.2)
 	if w < 50*time.Millisecond {
 		w = 50 * time.Millisecond
@@ -85,40 +154,46 @@ type Fig2Result struct {
 	Residuals []float64
 }
 
-// Fig2 runs the paper's Fig. 2 protocol for one workload: at each load
-// level, take opt.Estimates windows of >= MinSends send syscalls, pair
-// the eBPF RPS estimate (Eq. 1) with the client-reported RPS, and fit a
-// linear regression.
-func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
-	opt = opt.withDefaults()
-	res := Fig2Result{Workload: spec.Name}
-	for li, level := range opt.Levels {
-		rate := level * spec.FailureRPS
-		rig := NewRig(spec, RigOptions{
-			Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
-			Rate: rate, Probes: true,
-			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
-		})
-		rig.Warmup(opt.Warmup)
-		win := windowFor(opt.MinSends, rate)
-		// The paper pairs each estimation window's RPS_obsv with the
-		// benchmark-reported RPS of the whole load level, so the client
-		// measures across all windows while the probe is sampled per
-		// window.
-		rig.Client.StartMeasurement()
-		obsvs := make([]float64, 0, opt.Estimates)
-		for e := 0; e < opt.Estimates; e++ {
-			rig.Env.RunFor(win)
-			w := rig.Obs.Sample()
-			obsvs = append(obsvs, w.RPSObsv())
-		}
-		real := rig.Client.Snapshot().RealRPS
-		for _, ob := range obsvs {
-			res.Estimates = append(res.Estimates, Estimate{
-				Level: level, RealRPS: real, ObsvRPS: ob,
-			})
-		}
-		rig.Close()
+// fig2Level measures one load level of the Fig. 2 protocol on a private
+// rig: opt.Estimates windows of >= MinSends sends, each paired with the
+// client-reported RPS of the whole level. Pure in (spec, opt, li); safe
+// to run concurrently with other levels.
+func fig2Level(spec workloads.Spec, opt ExpOptions, li int) []Estimate {
+	level := opt.Levels[li]
+	rate := level * spec.FailureRPS
+	rig := NewRig(spec, RigOptions{
+		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+		Rate: rate, Probes: true,
+		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+	})
+	defer rig.Close()
+	rig.Warmup(opt.Warmup)
+	win := windowFor(opt.MinSends, rate)
+	// The paper pairs each estimation window's RPS_obsv with the
+	// benchmark-reported RPS of the whole load level, so the client
+	// measures across all windows while the probe is sampled per
+	// window.
+	rig.Client.StartMeasurement()
+	obsvs := make([]float64, 0, opt.Estimates)
+	for e := 0; e < opt.Estimates; e++ {
+		rig.Env.RunFor(win)
+		w := rig.Obs.Sample()
+		obsvs = append(obsvs, w.RPSObsv())
+	}
+	real := rig.Client.Snapshot().RealRPS
+	ests := make([]Estimate, 0, opt.Estimates)
+	for _, ob := range obsvs {
+		ests = append(ests, Estimate{Level: level, RealRPS: real, ObsvRPS: ob})
+	}
+	return ests
+}
+
+// fig2Assemble flattens per-level estimates (in level order) and fits
+// the paper's ObsvRPS -> RealRPS regression.
+func fig2Assemble(workload string, perLevel [][]Estimate) Fig2Result {
+	res := Fig2Result{Workload: workload}
+	for _, ests := range perLevel {
+		res.Estimates = append(res.Estimates, ests...)
 	}
 	x := make([]float64, len(res.Estimates))
 	y := make([]float64, len(res.Estimates))
@@ -129,6 +204,17 @@ func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
 	res.Fit = stats.FitLinear(x, y)
 	res.Residuals = res.Fit.Residuals(x, y)
 	return res
+}
+
+// Fig2 runs the paper's Fig. 2 protocol for one workload: at each load
+// level, take opt.Estimates windows of >= MinSends send syscalls, pair
+// the eBPF RPS estimate (Eq. 1) with the client-reported RPS, and fit a
+// linear regression. Load levels run on the parallel engine.
+func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
+	opt = opt.withDefaults()
+	perLevel, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
+		func(li int) []Estimate { return fig2Level(spec, opt, li) })
+	return fig2Assemble(spec.Name, perLevel)
 }
 
 // SweepPoint is one load level of a saturation sweep (Figs. 3-5 share it).
@@ -152,43 +238,59 @@ type SweepResult struct {
 	QoSCrossIdx int
 }
 
-// SaturationSweep drives one workload across load levels and records
-// the Fig. 3 (send-delta variance) and Fig. 4 (poll duration) signals
-// against the client-observed QoS state.
-func SaturationSweep(spec workloads.Spec, opt ExpOptions) SweepResult {
-	opt = opt.withDefaults()
+// sweepLevel measures one load level of a saturation sweep on a private
+// rig. Pure in (spec, opt, li); safe to run concurrently with other
+// levels.
+func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
+	level := opt.Levels[li]
+	rate := level * spec.FailureRPS
+	rig := NewRig(spec, RigOptions{
+		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+		Rate: rate, Probes: true,
+		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+	})
+	warm := opt.Warmup
+	if level >= 0.95 {
+		warm = opt.OverWarm // let overload queues accumulate
+	}
+	rig.Warmup(warm)
+	win := windowFor(opt.MinSends, rate)
+	m := rig.Measure(win)
+	rig.Close()
+	return SweepPoint{
+		Level:      level,
+		RealRPS:    m.Load.RealRPS,
+		ObsvRPS:    m.RPSObsv,
+		SendVarUS2: m.SendVarUS2,
+		RecvVarUS2: m.RecvVarUS2,
+		PollMeanNS: m.PollMeanNS,
+		P99:        m.Load.P99,
+		QoSFail:    m.Load.P99 > spec.QoS,
+	}
+}
+
+// assembleSweep orders points into a SweepResult and locates the QoS
+// crossing.
+func assembleSweep(spec workloads.Spec, points []SweepPoint) SweepResult {
 	res := SweepResult{Workload: spec.Name, QoS: spec.QoS, QoSCrossIdx: -1}
-	for li, level := range opt.Levels {
-		rate := level * spec.FailureRPS
-		rig := NewRig(spec, RigOptions{
-			Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
-			Rate: rate, Probes: true,
-			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
-		})
-		warm := opt.Warmup
-		if level >= 0.95 {
-			warm = opt.OverWarm // let overload queues accumulate
-		}
-		rig.Warmup(warm)
-		win := windowFor(opt.MinSends, rate)
-		m := rig.Measure(win)
-		rig.Close()
-		p := SweepPoint{
-			Level:      level,
-			RealRPS:    m.Load.RealRPS,
-			ObsvRPS:    m.RPSObsv,
-			SendVarUS2: m.SendVarUS2,
-			RecvVarUS2: m.RecvVarUS2,
-			PollMeanNS: m.PollMeanNS,
-			P99:        m.Load.P99,
-			QoSFail:    m.Load.P99 > spec.QoS,
-		}
+	for _, p := range points {
 		if p.QoSFail && res.QoSCrossIdx < 0 {
 			res.QoSCrossIdx = len(res.Points)
 		}
 		res.Points = append(res.Points, p)
 	}
 	return res
+}
+
+// SaturationSweep drives one workload across load levels and records
+// the Fig. 3 (send-delta variance) and Fig. 4 (poll duration) signals
+// against the client-observed QoS state. Load levels run on the
+// parallel engine; the result is identical at any Parallelism.
+func SaturationSweep(spec workloads.Spec, opt ExpOptions) SweepResult {
+	opt = opt.withDefaults()
+	points, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
+		func(li int) SweepPoint { return sweepLevel(spec, opt, li) })
+	return assembleSweep(spec, points)
 }
 
 // Fig5Result compares tail latency and the epoll-duration signal under
@@ -199,13 +301,26 @@ type Fig5Result struct {
 	Sweeps   []SweepResult // one per config
 }
 
-// Fig5 runs the loss-impact study.
+// Fig5 runs the loss-impact study. All (config, level) cells fan out as
+// one engine batch, so parallelism spans configurations as well as load
+// levels.
 func Fig5(spec workloads.Spec, configs []netsim.Config, opt ExpOptions) Fig5Result {
-	res := Fig5Result{Workload: spec.Name, Configs: configs}
-	for _, cfg := range configs {
+	opt = opt.withDefaults()
+	nl := len(opt.Levels)
+	labels := make([]string, 0, len(configs)*nl)
+	for ci := range configs {
+		for _, l := range opt.Levels {
+			labels = append(labels, fmt.Sprintf("%s cfg=%d level=%.2f", spec.Name, ci, l))
+		}
+	}
+	points, _ := RunPoints(opt, labels, func(i int) SweepPoint {
 		o := opt
-		o.Netem = cfg
-		res.Sweeps = append(res.Sweeps, SaturationSweep(spec, o))
+		o.Netem = configs[i/nl]
+		return sweepLevel(spec, o, i%nl)
+	})
+	res := Fig5Result{Workload: spec.Name, Configs: configs}
+	for ci := range configs {
+		res.Sweeps = append(res.Sweeps, assembleSweep(spec, points[ci*nl:(ci+1)*nl]))
 	}
 	return res
 }
@@ -218,14 +333,30 @@ type Table2Row struct {
 
 // Table2 reproduces the paper's Table II: the coefficient of
 // determination of the Fig. 2 regression under each netem configuration.
+// The whole workload x config x level grid fans out as one engine batch.
 func Table2(specs []workloads.Spec, configs []netsim.Config, opt ExpOptions) []Table2Row {
-	rows := make([]Table2Row, 0, len(specs))
+	opt = opt.withDefaults()
+	nl := len(opt.Levels)
+	labels := make([]string, 0, len(specs)*len(configs)*nl)
 	for _, spec := range specs {
+		for ci := range configs {
+			for _, l := range opt.Levels {
+				labels = append(labels, fmt.Sprintf("%s cfg=%d level=%.2f", spec.Name, ci, l))
+			}
+		}
+	}
+	ests, _ := RunPoints(opt, labels, func(i int) []Estimate {
+		si, ci, li := i/(len(configs)*nl), (i/nl)%len(configs), i%nl
+		o := opt
+		o.Netem = configs[ci]
+		return fig2Level(specs[si], o, li)
+	})
+	rows := make([]Table2Row, 0, len(specs))
+	for si, spec := range specs {
 		row := Table2Row{Workload: spec.Name}
-		for _, cfg := range configs {
-			o := opt
-			o.Netem = cfg
-			f2 := Fig2(spec, o)
+		for ci := range configs {
+			base := (si*len(configs) + ci) * nl
+			f2 := fig2Assemble(spec.Name, ests[base:base+nl])
 			row.R2 = append(row.R2, f2.Fit.R2)
 		}
 		rows = append(rows, row)
@@ -247,14 +378,23 @@ type OverheadResult struct {
 	CPUSharePct float64
 }
 
+// overheadRun is one arm of the Overhead A/B pair.
+type overheadRun struct {
+	p99   time.Duration
+	per   time.Duration
+	share float64
+}
+
 // Overhead measures the paper's Section VI claim: attach the full probe
-// set, compare client p99 against an unprobed run at the same load.
+// set, compare client p99 against an unprobed run at the same load. The
+// probes-off and probes-on arms run as two engine points (both from
+// opt.Seed, as an A/B pair must).
 func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult {
 	opt = opt.withDefaults()
 	rate := level * spec.FailureRPS
 	win := windowFor(4*opt.MinSends, rate)
 
-	run := func(probesOn bool) (time.Duration, time.Duration, float64) {
+	run := func(probesOn bool) overheadRun {
 		rig := NewRig(spec, RigOptions{
 			Seed: opt.Seed, Profile: opt.Profile, Netem: opt.Netem,
 			Rate: rate, Probes: probesOn,
@@ -262,8 +402,7 @@ func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult
 		})
 		rig.Warmup(opt.Warmup)
 		m := rig.Measure(win)
-		var per time.Duration
-		var share float64
+		var r overheadRun
 		if probesOn {
 			var total, cpu time.Duration
 			var calls uint64
@@ -273,24 +412,26 @@ func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult
 				calls += th.SyscallCount()
 			}
 			if calls > 0 {
-				per = total / time.Duration(calls)
+				r.per = total / time.Duration(calls)
 			}
 			if cpu > 0 {
-				share = 100 * float64(total) / float64(cpu)
+				r.share = 100 * float64(total) / float64(cpu)
 			}
 		}
 		rig.Close()
-		return m.Load.P99, per, share
+		r.p99 = m.Load.P99
+		return r
 	}
 
-	off, _, _ := run(false)
-	on, per, share := run(true)
+	labels := []string{spec.Name + " probes=off", spec.Name + " probes=on"}
+	runs, _ := RunPoints(opt, labels, func(i int) overheadRun { return run(i == 1) })
+	off, on := runs[0], runs[1]
 	res := OverheadResult{
 		Workload: spec.Name, Level: level,
-		P99Off: off, P99On: on, PerSyscall: per, CPUSharePct: share,
+		P99Off: off.p99, P99On: on.p99, PerSyscall: on.per, CPUSharePct: on.share,
 	}
-	if off > 0 {
-		res.OverheadPct = 100 * float64(on-off) / float64(off)
+	if off.p99 > 0 {
+		res.OverheadPct = 100 * float64(on.p99-off.p99) / float64(off.p99)
 	}
 	return res
 }

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowFor(t *testing.T) {
+	cases := []struct {
+		name     string
+		minSends int
+		rate     float64
+		want     time.Duration
+	}{
+		// 2048 sends at 1000 rps: 2.048s * 1.2 slack.
+		{"paper scale", 2048, 1000, time.Duration(2.048 * 1.2 * float64(time.Second))},
+		// High rate: the computed window collapses below the floor.
+		{"floor at high rate", 128, 100000, 50 * time.Millisecond},
+		// Degenerate inputs must not divide by zero or overflow.
+		{"zero rate", 2048, 0, 50 * time.Millisecond},
+		{"negative rate", 2048, -5, 50 * time.Millisecond},
+		{"zero sends", 0, 1000, 50 * time.Millisecond},
+		{"negative sends", -1, 1000, 50 * time.Millisecond},
+		// Tiny MinSends at modest rate still lands on the floor.
+		{"tiny sends", 1, 1000, 50 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := windowFor(c.minSends, c.rate); got != c.want {
+			t.Errorf("%s: windowFor(%d, %v) = %v, want %v",
+				c.name, c.minSends, c.rate, got, c.want)
+		}
+		if got := windowFor(c.minSends, c.rate); got < 50*time.Millisecond {
+			t.Errorf("%s: window %v below the 50ms floor", c.name, got)
+		}
+	}
+}
+
+func TestWithDefaultsZeroValue(t *testing.T) {
+	o := ExpOptions{}.withDefaults()
+	if o.MinSends != 2048 || o.Estimates != 10 || o.Seed != 42 {
+		t.Fatalf("paper-scale defaults wrong: %+v", o)
+	}
+	if len(o.Levels) != 10 || o.Levels[0] != 0.1 || o.Levels[9] != 1.0 {
+		t.Fatalf("default levels: %v", o.Levels)
+	}
+	if o.Warmup != 2*time.Second || o.OverWarm != 12*time.Second {
+		t.Fatalf("default warmups: %v / %v", o.Warmup, o.OverWarm)
+	}
+	// Fields whose zero value is meaningful must stay zero.
+	if o.Parallelism != 0 || o.Poisson || o.SeparateClient {
+		t.Fatalf("withDefaults must not touch execution fields: %+v", o)
+	}
+	if o.Progress != nil || o.Stats != nil {
+		t.Fatal("withDefaults must not install callbacks")
+	}
+}
+
+func TestWithDefaultsPreservesExplicitValues(t *testing.T) {
+	in := ExpOptions{
+		Seed:        7,
+		MinSends:    64,
+		Estimates:   2,
+		Levels:      []float64{0.5},
+		Warmup:      time.Millisecond,
+		OverWarm:    2 * time.Millisecond,
+		Parallelism: 3,
+	}
+	o := in.withDefaults()
+	if o.Seed != 7 || o.MinSends != 64 || o.Estimates != 2 ||
+		len(o.Levels) != 1 || o.Warmup != time.Millisecond ||
+		o.OverWarm != 2*time.Millisecond || o.Parallelism != 3 {
+		t.Fatalf("explicit values clobbered: %+v", o)
+	}
+	// Idempotence: the engine and the flattened drivers (Fig5, Table2)
+	// rely on withDefaults(withDefaults(x)) == withDefaults(x).
+	if o2 := o.withDefaults(); o2.Seed != o.Seed || o2.MinSends != o.MinSends ||
+		o2.Estimates != o.Estimates || len(o2.Levels) != len(o.Levels) {
+		t.Fatalf("withDefaults not idempotent: %+v vs %+v", o, o2)
+	}
+}
+
+func TestQuickPicksUpRemainingDefaults(t *testing.T) {
+	q := Quick().withDefaults()
+	if q.MinSends != 128 || q.Estimates != 3 || len(q.Levels) != 3 {
+		t.Fatalf("Quick scale clobbered by defaults: %+v", q)
+	}
+	if q.Seed != 42 {
+		t.Fatalf("Quick should default the seed: %+v", q)
+	}
+}

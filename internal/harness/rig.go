@@ -1,8 +1,3 @@
-// Package harness assembles full experiments: a simulated server machine
-// running one workload, a client machine generating open-loop load over
-// a netem-shaped link, and the paper's eBPF probes attached to the
-// server's tracepoints. It implements every sweep behind the paper's
-// figures and tables.
 package harness
 
 import (

@@ -1,14 +1,3 @@
-// Package kernel simulates the Linux kernel surface the paper's
-// methodology observes: processes and threads scheduled on a finite set
-// of CPUs with timeslice preemption and context-switch cost, a syscall
-// layer that fires raw_syscalls sys_enter/sys_exit tracepoints, and an
-// attachment point for eBPF programs whose execution cost is charged to
-// the traced thread.
-//
-// The signal the paper extracts — syscall timing under load — emerges
-// here from genuine queueing: when runnable threads exceed CPUs, run
-// queue delay inflates service times, inter-syscall deltas become bursty
-// (Fig. 3's variance knee), and poll durations collapse (Fig. 4).
 package kernel
 
 import (

@@ -1,9 +1,3 @@
-// Package loadgen drives workloads with an open-loop Poisson client —
-// the load model that pushes a server past saturation regardless of its
-// response rate, as the paper's sweeps require. It measures the
-// ground-truth request rate (RPS_real, the "benchmark-reported RPS" of
-// Fig. 2) and client-perceived latency percentiles, including every
-// network effect (delay, loss, retransmission).
 package loadgen
 
 import (

@@ -1,7 +1,3 @@
-// Package machine defines the hardware profiles of the paper's Table I.
-// A Profile parameterizes the simulated kernel (core count, context
-// switch cost scale) so experiments can demonstrate the paper's claim
-// that syscall-derived observability generalizes across hardware.
 package machine
 
 import (

@@ -1,15 +1,3 @@
-// Package netsim simulates the network substrate between clients and
-// servers: message-oriented connections with tc-netem-style delay,
-// jitter and loss, TCP-like in-order delivery with RTO-based
-// retransmission, listeners with accept queues, and epoll/select
-// readiness — everything the paper's Section V network-robustness
-// experiments manipulate.
-//
-// The crucial property reproduced here is the asymmetry the paper
-// reports in Fig. 5: a lost packet delays the *client's* perception of
-// the response by one or more RTOs (and everything behind it, by
-// head-of-line blocking), while the *server's* syscall cadence is
-// untouched — the send syscall already happened.
 package netsim
 
 import (

@@ -1,0 +1,28 @@
+// Package probes contains the eBPF programs of the paper's
+// methodology, written against the reqlens assembler and loaded through
+// the verifier:
+//
+//   - DeltaProbe: in-kernel inter-syscall delta statistics for a
+//     syscall family (count, sum, sum of squares, first/last
+//     timestamps) — the machinery behind Eq. 1 (RPS_obsv = 1/mean
+//     delta, Fig. 2) and Eq. 2 (variance of deltas, Fig. 3) computed
+//     entirely in map space.
+//   - PollProbe: Listing 1 generalized — entry/exit timestamp pairing
+//     for poll syscalls (epoll_wait/select), accumulating call
+//     durations for the saturation-slack signal (Fig. 4).
+//   - StreamProbe: raw sys_enter/sys_exit records emitted to a ring
+//     buffer for userspace analysis (the paper's initial exploration
+//     mode, and Fig. 1's trace; `cmd/tracedump`).
+//   - HistProbe: beyond the paper's minimum, a bcc-style in-kernel log2
+//     latency histogram with atomically bumped bucket counters;
+//     QuantileUS interpolates quantiles from the buckets.
+//
+// All programs filter by tgid in-kernel, exactly as the paper's Listing
+// 1 filters PID_TGID, so an attached probe observes one application.
+//
+// Key entry points: NewDeltaProbe / NewPollProbe / NewStreamProbe /
+// NewHistProbe (and their Must variants) construct a probe; Attach
+// loads it on a kernel.Tracer; Snapshot (or Drain, for the stream)
+// reads the in-map state. internal/core composes Delta and Poll probes
+// into the windowed Observer API most callers want.
+package probes

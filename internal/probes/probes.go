@@ -1,19 +1,3 @@
-// Package probes contains the eBPF programs of the paper's methodology,
-// written against the reqlens assembler and loaded through the verifier:
-//
-//   - DeltaProbe: in-kernel inter-syscall delta statistics for a syscall
-//     family (count, sum, sum of squares, first/last timestamps) — the
-//     machinery behind Eq. 1 (RPS_obsv = 1/mean delta) and Eq. 2
-//     (variance of deltas) computed entirely in map space.
-//   - PollProbe: Listing 1 generalized — entry/exit timestamp pairing for
-//     poll syscalls (epoll_wait/select), accumulating call durations for
-//     the saturation-slack signal (Fig. 4).
-//   - StreamProbe: raw sys_enter/sys_exit records emitted to a ring
-//     buffer for userspace analysis (the paper's initial exploration
-//     mode, and Fig. 1's trace).
-//
-// All programs filter by tgid in-kernel, exactly as the paper's Listing 1
-// filters PID_TGID, so an attached probe observes one application.
 package probes
 
 import (

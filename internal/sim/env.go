@@ -1,11 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation core.
-//
-// An Env owns a virtual clock and an event heap. Simulated concurrent
-// activities are modeled as Procs: goroutines that are resumed one at a
-// time by the event loop, so that for a fixed seed every run is
-// bit-for-bit reproducible. All inter-proc wake-ups travel through the
-// event heap (ordered by virtual time, then insertion sequence), never
-// by direct goroutine-to-goroutine handoff.
 package sim
 
 import (

@@ -1,0 +1,21 @@
+// Package stats provides the statistical machinery used throughout the
+// reproduction, mirroring the paper's evaluation methodology (Section
+// IV-B): streaming moment accumulators, quantile estimation over
+// log-scaled histograms, and ordinary least squares regression with
+// R-squared and residual extraction (the Fig. 2 / Table II fit).
+//
+// Key entry points:
+//
+//   - FitLinear(x, y) — OLS fit; LinearFit carries Slope, Intercept,
+//     R2, and Residuals (Fig. 2 regresses RPS_obsv against RPS_real).
+//   - NewHistogram — log-bucketed latency histogram with Quantile; the
+//     load generator's p50/p99 come from here.
+//   - Online — Welford streaming mean/variance; MomentVariance computes
+//     Eq. 2's E[dt^2] - E[dt]^2 from in-map sums, exactly as the eBPF
+//     side accumulates them.
+//   - Mean, Quantile(s), Pearson, Normalize(ByMax) — small helpers the
+//     renderers and tests share.
+//
+// Everything here is pure computation: no simulation state, safe for
+// concurrent use on distinct data.
+package stats

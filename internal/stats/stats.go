@@ -1,8 +1,3 @@
-// Package stats provides the statistical machinery used throughout the
-// reproduction: streaming moment accumulators (Welford), quantile
-// estimation over log-scaled histograms, and ordinary least squares
-// regression with R-squared and residual extraction, mirroring the
-// paper's evaluation methodology (Section IV-B).
 package stats
 
 import (

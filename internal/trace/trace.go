@@ -1,9 +1,3 @@
-// Package trace collects and analyzes syscall event streams: the
-// userspace side of the paper's methodology. It offers a ground-truth
-// recorder (a kernel listener, used to validate the eBPF path), delta
-// extraction over sorted traces (Section III "Observability Through
-// Syscall Statistics"), enter/exit pairing for durations, and the
-// setup / request-processing / shutdown phase classification of Fig. 1.
 package trace
 
 import (

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"reqlens/internal/kernel"
@@ -113,10 +114,12 @@ func drainAndServe(t *kernel.Thread, s *netsim.Sock, spec Spec, demand *demandSa
 }
 
 // SweepCount and SweepTimeNS accumulate maintenance-sweep diagnostics
-// across all servers in the process (the simulation is single-threaded).
+// across all servers in the process. They are atomic because the
+// harness's parallel experiment engine runs independent rigs — and thus
+// independent simulations — on concurrent goroutines.
 var (
-	SweepCount  int64
-	SweepTimeNS int64
+	SweepCount  atomic.Int64
+	SweepTimeNS atomic.Int64
 )
 
 // maintain models queue-management housekeeping (LRU walks, allocator or
@@ -133,8 +136,8 @@ func maintain(t *kernel.Thread, spec Spec, backlog int, mu *kernel.Mutex) {
 	if cost <= 0 {
 		return
 	}
-	SweepCount++
-	SweepTimeNS += int64(cost)
+	SweepCount.Add(1)
+	SweepTimeNS.Add(int64(cost))
 	mu.LockSpin(t, lockSpin)
 	t.Compute(cost)
 	mu.Unlock(t)

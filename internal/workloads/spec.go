@@ -1,19 +1,3 @@
-// Package workloads models the paper's nine latency-sensitive
-// applications (Section IV-A): five tailbench benchmarks, CloudSuite
-// Data Caching and Web Search, and the Triton inference server under
-// HTTP and gRPC. Each model reproduces the threading structure and the
-// request-oriented syscall signature the paper reports:
-//
-//	tailbench     recvfrom/sendto, select        worker pool
-//	data caching  read/sendmsg, epoll_wait       event-loop threads
-//	web search    read/write, epoll_wait         two processes (front/index)
-//	triton http   recvfrom/sendto, epoll_wait    dispatcher + workers
-//	triton grpc   recvmsg/sendmsg, epoll_wait    dispatcher + workers
-//
-// Service-time distributions are lognormal, calibrated so each workload
-// saturates near the failure RPS the paper reports for the AMD server
-// (Section IV-A): img-dnn 1950, xapian 970, silo 2100, specjbb 3700,
-// moses 900, data caching 62000, web search 420, triton 21.
 package workloads
 
 import (

@@ -1,0 +1,35 @@
+#!/bin/sh
+# check.sh — the repo's fast correctness gate (`make check`).
+#
+#   gofmt -l .                            formatting drift fails the gate
+#   go vet ./...                          static analysis
+#   go build ./...                        everything compiles
+#   go test ./...                         tier-1 suite
+#   go test -race ./internal/harness/...  engine + rig isolation under the
+#                                         race detector (the parallel
+#                                         engine's safety precondition)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race ./internal/harness/..."
+go test -race ./internal/harness/...
+
+echo "check: ok"

@@ -1,6 +1,6 @@
 # Developer entry points. `make check` is the gate each PR must pass.
 
-.PHONY: check test race bench fmt vet build
+.PHONY: check test race bench bench-ringbuf fmt vet build
 
 check: ## gofmt + vet + build + tests + race on the harness
 	./scripts/check.sh
@@ -12,10 +12,13 @@ test:
 	go test ./...
 
 race: ## the parallel engine's safety gate
-	go test -race ./internal/harness/...
+	go test -race ./internal/harness/... ./internal/core/...
 
-bench: ## regenerate every table/figure at bench scale
+bench: bench-ringbuf ## regenerate every table/figure at bench scale
 	go test -bench=. -benchmem
+
+bench-ringbuf: ## ring-buffer producer-path throughput -> BENCH_ringbuf.json
+	./scripts/bench_ringbuf.sh
 
 fmt:
 	gofmt -w .

@@ -11,13 +11,17 @@
 //	reqlens table2 [flags]              # R^2 under netem configs
 //	reqlens overhead [flags]            # probe cost on tail latency
 //	reqlens iouring [flags]             # Section V-C blind spot
+//	reqlens stream [flags]              # batch vs streaming observer agreement
 //	reqlens all   [flags]               # everything above
 //
 // -quick shrinks windows/levels for a fast smoke run; -workload selects
 // one workload (default: all nine); -parallel N fans independent load
 // points across N workers (0 = GOMAXPROCS, 1 = sequential — results are
 // identical either way, only wall-clock changes); -progress logs each
-// completed point and the engine's timing summary to stderr.
+// completed point and the engine's timing summary to stderr; -stream
+// attaches the ring-buffer streaming observer alongside the batch probes
+// in sweep commands (fig3/fig4), and -streambytes sizes its ring (power
+// of two; 0 = the 4 MiB default — undersize it to study the drop path).
 package main
 
 import (
@@ -33,7 +37,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|all> [flags]")
 	os.Exit(2)
 }
 
@@ -49,6 +53,8 @@ func main() {
 	intel := fs.Bool("intel", false, "use the Intel Xeon profile instead of AMD")
 	parallel := fs.Int("parallel", 0, "experiment-point workers: 0 = GOMAXPROCS, 1 = sequential")
 	progress := fs.Bool("progress", false, "log per-point completion and engine timing to stderr")
+	stream := fs.Bool("stream", false, "attach the streaming observer alongside the batch probes in sweeps")
+	streamBytes := fs.Int("streambytes", 0, "streaming ring size in bytes (power of two; 0 = 4 MiB default)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -62,6 +68,8 @@ func main() {
 		opt.Profile = machine.Intel()
 	}
 	opt.Parallelism = *parallel
+	opt.Stream = *stream
+	opt.StreamBytes = *streamBytes
 	if *progress {
 		opt.Progress = func(p harness.PointDone) {
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %8v (worker %d)\n",
@@ -112,6 +120,11 @@ func main() {
 		runOverhead(specs, opt)
 	case "iouring":
 		fmt.Print(harness.RenderIOUring(harness.IOUring(0.6, opt)))
+	case "stream":
+		for _, s := range specs {
+			fmt.Print(harness.RenderStreamAgreement(harness.StreamAgreement(s, opt)))
+			fmt.Println()
+		}
 	case "all":
 		fmt.Print(machine.TableI())
 		fmt.Println()
@@ -131,6 +144,8 @@ func main() {
 		runTable2(specs, opt)
 		runOverhead(specs, opt)
 		fmt.Print(harness.RenderIOUring(harness.IOUring(0.6, opt)))
+		fmt.Println()
+		fmt.Print(harness.RenderStreamAgreement(harness.StreamAgreement(workloads.DataCaching(), opt)))
 	default:
 		usage()
 	}

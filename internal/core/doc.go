@@ -25,6 +25,13 @@
 //     one tgid (Config selects the send/recv/poll syscall families);
 //     Observer.Sample closes the current observation window and opens
 //     the next.
+//   - AttachStream / MustAttachStream — the streaming variant: the
+//     probes emit one fixed-size event per observation into a bounded
+//     ring buffer, and StreamObserver folds the drained events into
+//     online (Welford) statistics plus map-identical integer
+//     aggregates, exposing the same Window the batch Observer produces
+//     together with a producer-side Dropped counter. A lossless stream
+//     reconstructs the batch windows bit-for-bit.
 //   - NewSaturationDetector — variance-anomaly alarm over Eq. 2.
 //   - NewSlackEstimator — normalized idle headroom from poll durations.
 //   - AttachStages / MultiObserver — per-stage observers across a

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"reqlens/internal/kernel"
@@ -43,13 +44,7 @@ func AttachStages(k *kernel.Kernel, stages map[string]Config) (*MultiObserver, e
 	for n := range stages {
 		names = append(names, n)
 	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	for _, n := range names {
 		o, err := Attach(k, stages[n])
 		if err != nil {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"reqlens/internal/kernel"
+)
+
+func streamConfig(tgid int) Config {
+	return Config{
+		TGID:         tgid,
+		SendSyscalls: []int{kernel.SysSendto},
+		RecvSyscalls: []int{kernel.SysRecvfrom},
+		PollSyscalls: []int{kernel.SysEpollWait},
+	}
+}
+
+// requestLoop is the canonical simulated server loop: poll, recv,
+// compute, send.
+func requestLoop(th *kernel.Thread, n int) {
+	for i := 0; i < n; i++ {
+		th.Invoke(kernel.SysEpollWait, [6]uint64{}, func() int64 {
+			th.Sleep(600 * time.Microsecond)
+			return 1
+		})
+		th.Invoke(kernel.SysRecvfrom, [6]uint64{}, func() int64 { return 64 })
+		th.Compute(300 * time.Microsecond)
+		th.Invoke(kernel.SysSendto, [6]uint64{}, func() int64 { return 64 })
+	}
+}
+
+// TestStreamMatchesBatchObserver attaches the batch and streaming
+// observers to the same kernel and asserts their windows agree exactly:
+// every program on a tracepoint sees the same virtual-clock timestamp,
+// so the event stream carries precisely the values the aggregate maps
+// accumulate.
+func TestStreamMatchesBatchObserver(t *testing.T) {
+	env, k := rig()
+	srv := k.NewProcess("srv")
+	cfg := streamConfig(srv.TGID())
+	batch := MustAttach(k, cfg)
+	stream := MustAttachStream(k, cfg, 1<<20)
+	srv.SpawnThread("w", func(th *kernel.Thread) { requestLoop(th, 500) })
+
+	for i := 0; i < 3; i++ {
+		env.RunFor(100 * time.Millisecond)
+		bw := batch.Sample()
+		sw := stream.Sample()
+		if sw.Window != bw {
+			t.Fatalf("window %d:\nstream = %+v\nbatch  = %+v", i, sw.Window, bw)
+		}
+		if sw.Dropped != 0 {
+			t.Fatalf("window %d: dropped %d events", i, sw.Dropped)
+		}
+		if i > 0 {
+			// After warmup every window is all-steady-state: one event
+			// per call, no First records, so the Welford accumulators
+			// see exactly the non-first deltas.
+			if sw.Events == 0 {
+				t.Fatalf("window %d consumed no events", i)
+			}
+			if sw.SendOnline.N() != bw.Send.Calls {
+				t.Fatalf("window %d: send online N = %d, calls = %d",
+					i, sw.SendOnline.N(), bw.Send.Calls)
+			}
+			if sw.PollOnline.N() != bw.Poll.Calls {
+				t.Fatalf("window %d: poll online N = %d, calls = %d",
+					i, sw.PollOnline.N(), bw.Poll.Calls)
+			}
+			// The unquantized Welford mean must agree with the map's
+			// integer-derived mean to well under a microsecond.
+			if diff := sw.SendOnline.Mean() - float64(bw.Send.MeanDelta); diff > 1 || diff < -1 {
+				t.Fatalf("window %d: online mean %v vs map mean %v",
+					i, sw.SendOnline.Mean(), bw.Send.MeanDelta)
+			}
+		}
+	}
+	if k.Tracer().RunErrors() != 0 {
+		t.Fatalf("probe faults: %v", k.Tracer().LastError())
+	}
+	for name, n := range stream.ProbePrograms() {
+		if n == 0 {
+			t.Fatalf("program %s has no instructions", name)
+		}
+	}
+	stream.Detach()
+	batch.Detach()
+	if got := k.Tracer().Attached(); got != 0 {
+		t.Fatalf("%d links still attached after Detach", got)
+	}
+}
+
+// TestStreamDropAccounting deliberately undersizes the ring and never
+// polls mid-run: the producer-side counter must account every event that
+// did not fit, so consumed + dropped equals the number of matched calls.
+func TestStreamDropAccounting(t *testing.T) {
+	run := func() (uint64, uint64) {
+		env, k := rig()
+		srv := k.NewProcess("srv")
+		stream := MustAttachStream(k, streamConfig(srv.TGID()), 256)
+		srv.SpawnThread("w", func(th *kernel.Thread) {
+			for i := 0; i < 200; i++ {
+				th.Invoke(kernel.SysSendto, [6]uint64{}, func() int64 { return 64 })
+				th.Sleep(100 * time.Microsecond)
+			}
+		})
+		env.Run()
+		w := stream.Sample()
+		return w.Events, w.Dropped
+	}
+	events, dropped := run()
+	if dropped == 0 {
+		t.Fatal("a 256-byte ring should overflow under 200 events")
+	}
+	if events+dropped != 200 {
+		t.Fatalf("consumed %d + dropped %d != 200 matched calls", events, dropped)
+	}
+	// Same seed, same ring: drop count is deterministic.
+	events2, dropped2 := run()
+	if events2 != events || dropped2 != dropped {
+		t.Fatalf("rerun diverged: (%d,%d) vs (%d,%d)", events2, dropped2, events, dropped)
+	}
+}
+
+func TestAttachStreamValidation(t *testing.T) {
+	_, k := rig()
+	if _, err := AttachStream(k, Config{TGID: 1}, 0); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	overlap := Config{
+		TGID:         1,
+		SendSyscalls: []int{kernel.SysWrite},
+		RecvSyscalls: []int{kernel.SysWrite},
+		PollSyscalls: []int{kernel.SysEpollWait},
+	}
+	if _, err := AttachStream(k, overlap, 0); err == nil {
+		t.Fatal("overlapping syscall families should fail")
+	}
+}
+
+func TestAttachStreamDefaultRing(t *testing.T) {
+	_, k := rig()
+	stream := MustAttachStream(k, streamConfig(1), 0)
+	defer stream.Detach()
+	if got := stream.RingCapacity(); got != DefaultStreamBytes {
+		t.Fatalf("default ring capacity = %d, want %d", got, DefaultStreamBytes)
+	}
+	if stream.Dropped() != 0 {
+		t.Fatal("fresh observer reports drops")
+	}
+}
+
+// TestMultiObserverPartialAttachDetachesAll covers the failure path of
+// AttachStages: when a later stage fails to attach, every link from the
+// stages that did attach must be removed.
+func TestMultiObserverPartialAttachDetachesAll(t *testing.T) {
+	_, k := rig()
+	good := streamConfig(1)
+	// Five send syscalls pass the core-level non-empty check but exceed
+	// the probe builder's 1..4 matcher limit, so the stage fails after
+	// stage "a" has fully attached.
+	bad := Config{
+		TGID:         2,
+		SendSyscalls: []int{1, 2, 3, 4, 5},
+		RecvSyscalls: []int{kernel.SysRecvfrom},
+		PollSyscalls: []int{kernel.SysEpollWait},
+	}
+	if _, err := AttachStages(k, map[string]Config{"a": good, "b": bad}); err == nil {
+		t.Fatal("stage b should fail to attach")
+	}
+	if got := k.Tracer().Attached(); got != 0 {
+		t.Fatalf("%d links left attached after partial failure", got)
+	}
+}

@@ -22,9 +22,14 @@
 //     Program; Program.Run interprets it against a context and a
 //     HelperEnv.
 //   - NewHashMap / NewLRUHashMap / NewArrayMap / NewRingBuf — map
-//     types; Map is their shared interface.
+//     types; Map is their shared interface. RingBuf follows the kernel's
+//     BPF_MAP_TYPE_RINGBUF model: power-of-two byte capacity, monotonic
+//     producer/consumer positions, 8-byte length header plus 8-byte
+//     alignment per record, and never-overwrite drop semantics with a
+//     producer-side drop counter.
 //   - HelperEnv — the helper surface programs call
-//     (ktime_get_ns, get_current_pid_tgid, map ops, ringbuf output).
+//     (ktime_get_ns, get_current_pid_tgid, map ops, ringbuf_output,
+//     ringbuf_query).
 //
 // internal/probes assembles the paper's actual programs against this
 // package; internal/kernel dispatches them on syscall tracepoints and

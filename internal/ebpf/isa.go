@@ -118,6 +118,15 @@ const (
 	HelperGetSMPProcID      = 8
 	HelperGetCurrentPidTgid = 14
 	HelperRingbufOutput     = 130
+	HelperRingbufQuery      = 134
+)
+
+// bpf_ringbuf_query flags, matching the Linux uapi BPF_RB_* values.
+const (
+	RingbufAvailData = 0 // unconsumed bytes in the ring
+	RingbufRingSize  = 1 // ring capacity in bytes
+	RingbufConsPos   = 2 // monotonic consumer position
+	RingbufProdPos   = 3 // monotonic producer position
 )
 
 // MaxInstructions is the verifier's program length limit.

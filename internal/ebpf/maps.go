@@ -215,80 +215,6 @@ func (m *ArrayMap) Delete(key []byte) error {
 	return errors.New("ebpf: delete not supported on array map")
 }
 
-// RingBuf is a BPF_MAP_TYPE_RINGBUF: programs commit variable-sized
-// records that userspace drains in order. Capacity is in bytes; a commit
-// that would exceed it is dropped and counted.
-type RingBuf struct {
-	name     string
-	capacity int
-	used     int
-	records  [][]byte
-	dropped  uint64
-	written  uint64
-}
-
-// NewRingBuf creates a ring buffer with the given byte capacity.
-func NewRingBuf(name string, capacity int) *RingBuf {
-	if capacity <= 0 {
-		panic("ebpf: invalid ringbuf capacity")
-	}
-	return &RingBuf{name: name, capacity: capacity}
-}
-
-// Name returns the map's name.
-func (m *RingBuf) Name() string { return m.name }
-
-// KeySize is 0: ring buffers are not keyed.
-func (m *RingBuf) KeySize() int { return 0 }
-
-// ValueSize is 0: records are variable-sized.
-func (m *RingBuf) ValueSize() int { return 0 }
-
-// Lookup is invalid on ring buffers.
-func (m *RingBuf) Lookup(key []byte) ([]byte, bool) { return nil, false }
-
-// Update is invalid on ring buffers.
-func (m *RingBuf) Update(key, value []byte, flags int) error {
-	return errors.New("ebpf: update not supported on ringbuf")
-}
-
-// Delete is invalid on ring buffers.
-func (m *RingBuf) Delete(key []byte) error {
-	return errors.New("ebpf: delete not supported on ringbuf")
-}
-
-// Output commits one record (copied). Returns false when the record was
-// dropped for lack of space.
-func (m *RingBuf) Output(rec []byte) bool {
-	if m.used+len(rec) > m.capacity {
-		m.dropped++
-		return false
-	}
-	cp := make([]byte, len(rec))
-	copy(cp, rec)
-	m.records = append(m.records, cp)
-	m.used += len(rec)
-	m.written++
-	return true
-}
-
-// Drain returns and removes all pending records in commit order.
-func (m *RingBuf) Drain() [][]byte {
-	out := m.records
-	m.records = nil
-	m.used = 0
-	return out
-}
-
-// Dropped returns the count of records dropped due to a full buffer.
-func (m *RingBuf) Dropped() uint64 { return m.dropped }
-
-// Written returns the count of records successfully committed.
-func (m *RingBuf) Written() uint64 { return m.written }
-
-// Pending returns the number of records awaiting Drain.
-func (m *RingBuf) Pending() int { return len(m.records) }
-
 // LRUHashMap is a BPF_MAP_TYPE_LRU_HASH: when full, inserting a new key
 // evicts the least-recently-used entry instead of failing. Real tracing
 // deployments prefer it for per-flow/per-thread state that must not

@@ -223,12 +223,17 @@ func TestRingBufOps(t *testing.T) {
 }
 
 func TestRingBufDropsWhenFull(t *testing.T) {
-	rb := NewRingBuf("rb", 10)
+	// Each 8-byte record costs 8 header + 8 payload = 16 bytes, so a
+	// 32-byte ring holds exactly two.
+	rb := NewRingBuf("rb", 32)
 	if !rb.Output(make([]byte, 8)) {
 		t.Fatal("first output should fit")
 	}
+	if !rb.Output(make([]byte, 8)) {
+		t.Fatal("second output should fit")
+	}
 	if rb.Output(make([]byte, 8)) {
-		t.Fatal("second output should be dropped")
+		t.Fatal("third output should be dropped")
 	}
 	if rb.Dropped() != 1 {
 		t.Fatalf("Dropped = %d", rb.Dropped())
@@ -267,6 +272,8 @@ func TestMapConstructorPanics(t *testing.T) {
 		func() { NewHashMap("x", 0, 8, 8) },
 		func() { NewArrayMap("x", 8, 0) },
 		func() { NewRingBuf("x", 0) },
+		func() { NewRingBuf("x", 24) }, // not a power of two
+		func() { NewRingBuf("x", 4) },  // below one header
 	} {
 		func() {
 			defer func() {

@@ -1,0 +1,169 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// RingBuf is a BPF_MAP_TYPE_RINGBUF: a single byte-addressed ring that
+// programs commit variable-sized records into and userspace drains in
+// commit order. As on Linux, the capacity is a power of two of bytes and
+// every record costs an 8-byte header plus its payload rounded up to 8
+// bytes, so drop behaviour under a lagging consumer is bit-for-bit
+// reproducible against the real map's accounting. A commit that does not
+// fit in the free span between the producer and consumer positions is
+// dropped and counted; nothing is ever overwritten.
+type RingBuf struct {
+	name string
+	data []byte // backing store, len == capacity (power of two)
+	mask uint64 // capacity - 1
+
+	// prod and cons are monotonically increasing byte positions, as
+	// exposed by the kernel's producer/consumer pages. prod-cons is the
+	// number of unconsumed bytes; both are always 8-aligned.
+	prod uint64
+	cons uint64
+
+	dropped uint64 // records dropped for lack of space
+	written uint64 // records committed
+	pending int    // records between cons and prod
+}
+
+// ringbufHdrSize is the per-record header: a little-endian uint64 payload
+// length (the kernel packs length plus busy/discard bits into 32 bits; we
+// model the 8-byte reservation cost, which is what the accounting needs).
+const ringbufHdrSize = 8
+
+// ringbufRecordCost returns the bytes one committed record of n payload
+// bytes consumes: header plus payload rounded up to 8-byte alignment.
+func ringbufRecordCost(n int) uint64 {
+	return ringbufHdrSize + (uint64(n)+7)&^7
+}
+
+// NewRingBuf creates a ring buffer. As with the Linux map type, capacity
+// is in bytes and must be a power of two (and at least one header's
+// worth); anything else panics.
+func NewRingBuf(name string, capacity int) *RingBuf {
+	if capacity < ringbufHdrSize || bits.OnesCount(uint(capacity)) != 1 {
+		panic(fmt.Sprintf("ebpf: ringbuf capacity %d must be a power of two >= %d", capacity, ringbufHdrSize))
+	}
+	return &RingBuf{name: name, data: make([]byte, capacity), mask: uint64(capacity) - 1}
+}
+
+// Name returns the map's name.
+func (m *RingBuf) Name() string { return m.name }
+
+// KeySize is 0: ring buffers are not keyed.
+func (m *RingBuf) KeySize() int { return 0 }
+
+// ValueSize is 0: records are variable-sized.
+func (m *RingBuf) ValueSize() int { return 0 }
+
+// Lookup is invalid on ring buffers.
+func (m *RingBuf) Lookup(key []byte) ([]byte, bool) { return nil, false }
+
+// Update is invalid on ring buffers.
+func (m *RingBuf) Update(key, value []byte, flags int) error {
+	return errors.New("ebpf: update not supported on ringbuf")
+}
+
+// Delete is invalid on ring buffers.
+func (m *RingBuf) Delete(key []byte) error {
+	return errors.New("ebpf: delete not supported on ringbuf")
+}
+
+// Capacity returns the ring size in bytes (BPF_RB_RING_SIZE).
+func (m *RingBuf) Capacity() int { return len(m.data) }
+
+// AvailData returns the unconsumed bytes between the consumer and
+// producer positions (BPF_RB_AVAIL_DATA), headers included.
+func (m *RingBuf) AvailData() uint64 { return m.prod - m.cons }
+
+// ProducerPos returns the monotonic producer byte position.
+func (m *RingBuf) ProducerPos() uint64 { return m.prod }
+
+// ConsumerPos returns the monotonic consumer byte position.
+func (m *RingBuf) ConsumerPos() uint64 { return m.cons }
+
+// copyIn writes b into the ring starting at monotonic position pos,
+// wrapping at the capacity boundary.
+func (m *RingBuf) copyIn(pos uint64, b []byte) {
+	start := pos & m.mask
+	n := copy(m.data[start:], b)
+	if n < len(b) {
+		copy(m.data, b[n:])
+	}
+}
+
+// copyOut reads n bytes starting at monotonic position pos.
+func (m *RingBuf) copyOut(pos uint64, n int) []byte {
+	out := make([]byte, n)
+	start := pos & m.mask
+	c := copy(out, m.data[start:])
+	if c < n {
+		copy(out[c:], m.data)
+	}
+	return out
+}
+
+// Output commits one record (copied). Returns false when the record was
+// dropped: its header-plus-padded-payload cost exceeds the free space
+// left by the consumer, or the payload alone can never fit the ring.
+func (m *RingBuf) Output(rec []byte) bool {
+	need := ringbufRecordCost(len(rec))
+	if need > uint64(len(m.data))-(m.prod-m.cons) {
+		m.dropped++
+		return false
+	}
+	var hdr [ringbufHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(rec)))
+	m.copyIn(m.prod, hdr[:])
+	m.copyIn(m.prod+ringbufHdrSize, rec)
+	m.prod += need
+	m.written++
+	m.pending++
+	return true
+}
+
+// Drain returns and removes all pending records in commit order,
+// advancing the consumer position and freeing their space.
+func (m *RingBuf) Drain() [][]byte {
+	if m.pending == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, m.pending)
+	for m.cons < m.prod {
+		n := int(binary.LittleEndian.Uint64(m.copyOut(m.cons, ringbufHdrSize)))
+		out = append(out, m.copyOut(m.cons+ringbufHdrSize, n))
+		m.cons += ringbufRecordCost(n)
+	}
+	m.pending = 0
+	return out
+}
+
+// Dropped returns the count of records dropped due to a full buffer.
+func (m *RingBuf) Dropped() uint64 { return m.dropped }
+
+// Written returns the count of records successfully committed.
+func (m *RingBuf) Written() uint64 { return m.written }
+
+// Pending returns the number of records awaiting Drain.
+func (m *RingBuf) Pending() int { return m.pending }
+
+// Query answers a bpf_ringbuf_query flag against the live ring state.
+// Unknown flags return 0, as on Linux.
+func (m *RingBuf) Query(flag uint64) uint64 {
+	switch flag {
+	case RingbufAvailData:
+		return m.AvailData()
+	case RingbufRingSize:
+		return uint64(len(m.data))
+	case RingbufConsPos:
+		return m.cons
+	case RingbufProdPos:
+		return m.prod
+	}
+	return 0
+}

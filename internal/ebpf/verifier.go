@@ -302,7 +302,7 @@ func helperKnown(id int32) bool {
 	switch id {
 	case HelperMapLookupElem, HelperMapUpdateElem, HelperMapDeleteElem,
 		HelperKtimeGetNS, HelperGetSMPProcID, HelperGetCurrentPidTgid,
-		HelperRingbufOutput:
+		HelperRingbufOutput, HelperRingbufQuery:
 		return true
 	}
 	return false
@@ -802,6 +802,18 @@ func (v *verifier) checkCall(pc int, id int32, st *absState) error {
 			return err
 		}
 		if err := requireScalar(R4, "ringbuf flags (R4)"); err != nil {
+			return err
+		}
+		ret = scalarReg()
+	case HelperRingbufQuery:
+		m := arg(R1)
+		if m.t != tMapHandle {
+			return v.errf(pc, "helper arg R1 must be a map handle, got %s", m.t)
+		}
+		if _, ok := m.m.(*RingBuf); !ok {
+			return v.errf(pc, "ringbuf_query on non-ringbuf map %q", m.m.Name())
+		}
+		if err := requireScalar(R2, "ringbuf_query flags (R2)"); err != nil {
 			return err
 		}
 		ret = scalarReg()

@@ -465,6 +465,39 @@ func TestVerifierRingbufRejectsUnknownSize(t *testing.T) {
 	wantReject(t, a.MustAssemble(), maps, "known constant")
 }
 
+func TestVerifierRingbufQueryChecks(t *testing.T) {
+	maps := map[int32]Map{
+		1: NewRingBuf("rb", 4096),
+		2: NewHashMap("h", 8, 8, 4),
+	}
+	good := func() []Instruction {
+		a := NewAssembler()
+		a.EmitWide(LoadMapFD(R1, 1))
+		a.Emit(
+			Mov64Imm(R2, RingbufAvailData),
+			Call(HelperRingbufQuery),
+			Exit(),
+		)
+		return a.MustAssemble()
+	}
+	wantAccept(t, good(), maps)
+
+	// ringbuf_query on a hash map must fail.
+	bad := good()
+	bad[0].Imm = 2
+	wantReject(t, bad, maps, "non-ringbuf")
+
+	// Pointer flags must fail.
+	a := NewAssembler()
+	a.EmitWide(LoadMapFD(R1, 1))
+	a.Emit(
+		Mov64Reg(R2, R10),
+		Call(HelperRingbufQuery),
+		Exit(),
+	)
+	wantReject(t, a.MustAssemble(), maps, "scalar")
+}
+
 func TestVerifierListingOneAccepted(t *testing.T) {
 	// The paper's Listing 1 shape: filter pid_tgid and syscall id, stamp
 	// entry time into a hash map.

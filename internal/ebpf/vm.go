@@ -574,6 +574,17 @@ func (m *vm) call(pc int, id int32) error {
 			setR0(scalarWord(^uint64(0)))
 		}
 		return nil
+	case HelperRingbufQuery:
+		rb, ok := r(R1).m.(*RingBuf)
+		if !ok {
+			return m.fault(pc, "ringbuf_query: R1 is not a ringbuf")
+		}
+		flags := r(R2)
+		if !flags.isScalar() {
+			return m.fault(pc, "ringbuf_query: flags not scalar")
+		}
+		setR0(scalarWord(rb.Query(flags.scalar)))
+		return nil
 	}
 	return m.fault(pc, "unknown helper %d", id)
 }

@@ -14,6 +14,13 @@
 // observations; Close reclaims its goroutines. Rigs share no mutable
 // state, so independent rigs may run concurrently.
 //
+// RigOptions.Stream additionally attaches the ring-buffer streaming
+// observer (core.StreamObserver) beside the batch probes. Rig.Advance
+// then drains the ring on a fixed 50 ms simulated-time cadence, so drop
+// counts under an undersized ring are deterministic for a given seed,
+// and Measurement pairs every batch window with its stream-reconstructed
+// twin.
+//
 // # Experiment drivers
 //
 // Each paper artifact has a driver taking an ExpOptions:
@@ -26,6 +33,9 @@
 //   - Table2 — R^2 of the Fig. 2 fit under netem configurations.
 //   - Overhead — the Section VI probe-cost A/B study.
 //   - IOUring — the Section V-C blind-spot demonstration.
+//   - StreamAgreement / StreamDrops — batch vs streaming observer
+//     side-by-side: exact window agreement with a healthy ring, and the
+//     deterministic loss profile of a deliberately undersized one.
 //
 // RenderFig1..RenderOverhead print each result as the ASCII analogue of
 // the paper's figure (`cmd/reqlens` wraps them all).

@@ -18,6 +18,9 @@ import (
 func TestParallelSweepDeterminism(t *testing.T) {
 	opt := Quick()
 	opt.Levels = []float64{0.4, 0.7, 1.0, 1.15}
+	// Streaming on: the ring-buffer pipeline (event folding, drain
+	// cadence, drop accounting) must be as deterministic as the maps.
+	opt.Stream = true
 
 	seq := opt
 	seq.Parallelism = 1
@@ -29,6 +32,11 @@ func TestParallelSweepDeterminism(t *testing.T) {
 	b := SaturationSweep(spec, par)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("parallel sweep differs from sequential:\nseq: %+v\npar: %+v", a, b)
+	}
+	for _, p := range a.Points {
+		if !p.StreamAgree || p.StreamDropped != 0 {
+			t.Fatalf("point %+v: stream window should match batch with a default ring", p)
+		}
 	}
 }
 

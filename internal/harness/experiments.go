@@ -60,6 +60,16 @@ type ExpOptions struct {
 	// produces. 0 defaults to 12s.
 	OverWarm time.Duration
 
+	// Stream attaches the streaming (ring-buffer event) observer
+	// alongside the batch probes in sweep-style experiments, pairing
+	// every batch window with its event-stream reconstruction.
+	Stream bool
+
+	// StreamBytes sizes the streaming ring buffer (power of two; 0 =
+	// core.DefaultStreamBytes). Undersizing it deliberately forces the
+	// drop path; drop counts are deterministic for a fixed Seed.
+	StreamBytes int
+
 	// Poisson switches the load generator from fixed-rate pacing to
 	// exponential interarrivals (ablation; the paper paces).
 	Poisson bool
@@ -227,6 +237,12 @@ type SweepPoint struct {
 	PollMeanNS float64 // mean epoll/select duration
 	P99        time.Duration
 	QoSFail    bool
+
+	// Streaming-observer pairing (zero unless ExpOptions.Stream).
+	StreamObsvRPS float64 // Eq. 1 reconstructed from the event stream
+	StreamEvents  uint64  // events folded into the window
+	StreamDropped uint64  // cumulative ring drops at sample time
+	StreamAgree   bool    // stream window == batch window bit-for-bit
 }
 
 // SweepResult is a full load sweep with the QoS crossing located.
@@ -247,6 +263,7 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 	rig := NewRig(spec, RigOptions{
 		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
 		Rate: rate, Probes: true,
+		Stream: opt.Stream, StreamBytes: opt.StreamBytes,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
 	})
 	warm := opt.Warmup
@@ -257,7 +274,7 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 	win := windowFor(opt.MinSends, rate)
 	m := rig.Measure(win)
 	rig.Close()
-	return SweepPoint{
+	p := SweepPoint{
 		Level:      level,
 		RealRPS:    m.Load.RealRPS,
 		ObsvRPS:    m.RPSObsv,
@@ -267,6 +284,13 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 		P99:        m.Load.P99,
 		QoSFail:    m.Load.P99 > spec.QoS,
 	}
+	if opt.Stream {
+		p.StreamObsvRPS = m.Stream.Send.RatePerSec
+		p.StreamEvents = m.Stream.Events
+		p.StreamDropped = m.Stream.Dropped
+		p.StreamAgree = m.Stream.Window == m.Obs
+	}
+	return p
 }
 
 // assembleSweep orders points into a SweepResult and locates the QoS

@@ -21,6 +21,15 @@ type RigOptions struct {
 	Conns   int             // client connections (0 = 4x workers)
 	Probes  bool            // attach the eBPF probes
 
+	// Stream additionally attaches the streaming observer (ring-buffer
+	// event pipeline) alongside whatever Probes selects, so batch and
+	// streaming views of the same kernel can be compared.
+	Stream bool
+	// StreamBytes sizes the streaming ring buffer (power of two; 0 =
+	// core.DefaultStreamBytes). Deliberately undersizing it exercises
+	// the drop path.
+	StreamBytes int
+
 	// SeparateClient puts the load generator on its own machine instead
 	// of co-locating it with the server (the paper co-locates both
 	// containers on one host; separation is an ablation).
@@ -29,6 +38,13 @@ type RigOptions struct {
 	// of fixed-rate pacing (ablation).
 	Poisson bool
 }
+
+// streamDrainEvery is how much simulated time Advance lets pass between
+// ring-buffer drains when a streaming observer is attached. Fixed (and
+// independent of the requested advance) so drain points land at
+// deterministic simulation instants: drop counts under an undersized
+// ring are then reproducible for a given seed.
+const streamDrainEvery = 50 * time.Millisecond
 
 // Rig is one fully wired experiment: simulation, two machines, network,
 // workload, client, probes.
@@ -43,6 +59,10 @@ type Rig struct {
 	// Obs is the attached core.Observer — the library under evaluation.
 	// Nil when RigOptions.Probes is false.
 	Obs *core.Observer
+
+	// Stream is the attached core.StreamObserver — the ring-buffer event
+	// pipeline. Nil when RigOptions.Stream is false.
+	Stream *core.StreamObserver
 }
 
 // NewRig builds and starts a rig for spec. Traffic flows as soon as the
@@ -76,13 +96,17 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 	}
 	r.Server = workloads.Launch(r.ServerK, r.Net, spec, opt.Netem)
 
+	cfg := core.Config{
+		TGID:         r.Server.Process().TGID(),
+		SendSyscalls: []int{spec.SendNR},
+		RecvSyscalls: []int{spec.RecvNR},
+		PollSyscalls: []int{spec.PollNR},
+	}
 	if opt.Probes {
-		r.Obs = core.MustAttach(r.ServerK, core.Config{
-			TGID:         r.Server.Process().TGID(),
-			SendSyscalls: []int{spec.SendNR},
-			RecvSyscalls: []int{spec.RecvNR},
-			PollSyscalls: []int{spec.PollNR},
-		})
+		r.Obs = core.MustAttach(r.ServerK, cfg)
+	}
+	if opt.Stream {
+		r.Stream = core.MustAttachStream(r.ServerK, cfg, opt.StreamBytes)
 	}
 
 	conns := opt.Conns
@@ -103,11 +127,34 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 	return r
 }
 
+// Advance drives the simulation forward by d. With a streaming observer
+// attached, it advances in fixed streamDrainEvery chunks and drains the
+// ring after each, keeping the consumer ahead of the producers at
+// deterministic simulation instants; without one it is Env.RunFor.
+func (r *Rig) Advance(d time.Duration) {
+	if r.Stream == nil {
+		r.Env.RunFor(d)
+		return
+	}
+	for d > 0 {
+		step := streamDrainEvery
+		if d < step {
+			step = d
+		}
+		r.Env.RunFor(step)
+		r.Stream.Poll()
+		d -= step
+	}
+}
+
 // Warmup advances the simulation without measuring.
 func (r *Rig) Warmup(d time.Duration) {
-	r.Env.RunFor(d)
+	r.Advance(d)
 	if r.Obs != nil {
 		r.Obs.Sample() // discard: rebases the observation window
+	}
+	if r.Stream != nil {
+		r.Stream.Sample()
 	}
 }
 
@@ -115,6 +162,11 @@ func (r *Rig) Warmup(d time.Duration) {
 type Measurement struct {
 	Load loadgen.Results
 	Obs  core.Window // the library's view of the same window
+
+	// Stream is the streaming observer's view of the same window (zero
+	// when RigOptions.Stream is false). Its embedded Window equals Obs
+	// bit-for-bit whenever Stream.Dropped stayed zero.
+	Stream core.StreamWindow
 
 	RPSObsv    float64 // Eq. 1 estimate from the send probe
 	SendVarUS2 float64 // Eq. 2 variance of send deltas
@@ -129,7 +181,10 @@ func (r *Rig) Measure(d time.Duration) Measurement {
 	if r.Obs != nil {
 		r.Obs.Sample() // rebase
 	}
-	r.Env.RunFor(d)
+	if r.Stream != nil {
+		r.Stream.Sample() // rebase
+	}
+	r.Advance(d)
 	m := Measurement{Load: r.Client.Snapshot()}
 	if r.Obs != nil {
 		w := r.Obs.Sample()
@@ -138,6 +193,9 @@ func (r *Rig) Measure(d time.Duration) Measurement {
 		m.SendVarUS2 = w.Send.VarianceUS2
 		m.RecvVarUS2 = w.Recv.VarianceUS2
 		m.PollMeanNS = float64(w.Poll.MeanDuration)
+	}
+	if r.Stream != nil {
+		m.Stream = r.Stream.Sample()
 	}
 	return m
 }

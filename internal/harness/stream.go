@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"reqlens/internal/core"
+	"reqlens/internal/workloads"
+)
+
+// AgreementPoint pairs the batch and streaming views of one load level.
+type AgreementPoint struct {
+	Level  float64
+	Batch  core.Window
+	Stream core.StreamWindow
+
+	// Agree is true when the stream-reconstructed window equals the
+	// aggregate-map window bit-for-bit. It must hold whenever
+	// Stream.Dropped is zero: every program on a tracepoint sees the
+	// same virtual-clock timestamp, so a lossless event stream carries
+	// exactly the values the maps accumulate.
+	Agree bool
+}
+
+// StreamAgreementResult is the side-by-side validation of the ring-buffer
+// event pipeline against the batch observer across a load sweep.
+type StreamAgreementResult struct {
+	Workload  string
+	RingBytes int // 0 = core.DefaultStreamBytes
+
+	Points []AgreementPoint
+
+	// Disagreements counts points whose windows differ; with a
+	// never-overflowing ring it must be zero.
+	Disagreements int
+	// TotalDropped sums ring drops across all levels (each level runs on
+	// a private rig with its own ring).
+	TotalDropped uint64
+}
+
+// streamAgreementLevel measures one load level with both observers
+// attached to the same kernel. Pure in (spec, opt, li); safe to run
+// concurrently with other levels.
+func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, li int) AgreementPoint {
+	level := opt.Levels[li]
+	rate := level * spec.FailureRPS
+	rig := NewRig(spec, RigOptions{
+		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+		Rate: rate, Probes: true, Stream: true, StreamBytes: opt.StreamBytes,
+		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+	})
+	warm := opt.Warmup
+	if level >= 0.95 {
+		warm = opt.OverWarm
+	}
+	rig.Warmup(warm)
+	m := rig.Measure(windowFor(opt.MinSends, rate))
+	rig.Close()
+	return AgreementPoint{
+		Level:  level,
+		Batch:  m.Obs,
+		Stream: m.Stream,
+		Agree:  m.Stream.Window == m.Obs,
+	}
+}
+
+// StreamAgreement runs batch and streaming observers side by side at
+// every load level and records whether their windows agree exactly. Load
+// levels run on the parallel engine; results are identical at any
+// Parallelism.
+func StreamAgreement(spec workloads.Spec, opt ExpOptions) StreamAgreementResult {
+	opt = opt.withDefaults()
+	points, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
+		func(li int) AgreementPoint { return streamAgreementLevel(spec, opt, li) })
+	res := StreamAgreementResult{Workload: spec.Name, RingBytes: opt.StreamBytes, Points: points}
+	for _, p := range points {
+		if !p.Agree {
+			res.Disagreements++
+		}
+		res.TotalDropped += p.Stream.Dropped
+	}
+	return res
+}
+
+// RenderStreamAgreement formats the batch-vs-stream comparison table.
+func RenderStreamAgreement(r StreamAgreementResult) string {
+	var b strings.Builder
+	ring := "default"
+	if r.RingBytes != 0 {
+		ring = fmt.Sprintf("%d B", r.RingBytes)
+	}
+	fmt.Fprintf(&b, "Streaming vs batch observer: %s (ring %s)\n", r.Workload, ring)
+	fmt.Fprintf(&b, "%-6s | %12s | %12s | %8s | %8s | %6s\n",
+		"level", "batch RPS", "stream RPS", "events", "dropped", "agree")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6.2f | %12.1f | %12.1f | %8d | %8d | %6v\n",
+			p.Level, p.Batch.Send.RatePerSec, p.Stream.Send.RatePerSec,
+			p.Stream.Events, p.Stream.Dropped, p.Agree)
+	}
+	if r.Disagreements == 0 && r.TotalDropped == 0 {
+		b.WriteString("all windows agree bit-for-bit; no events dropped\n")
+	} else {
+		fmt.Fprintf(&b, "%d/%d windows diverged, %d events dropped\n",
+			r.Disagreements, len(r.Points), r.TotalDropped)
+	}
+	return b.String()
+}
+
+// StreamDropProfile sweeps the same workload with a deliberately
+// undersized ring and reports the (deterministic) loss profile per level.
+type StreamDropProfile struct {
+	Workload  string
+	RingBytes int
+	Points    []AgreementPoint
+}
+
+// StreamDrops runs the agreement protocol with a small ring to
+// characterize overflow behaviour: how many events each load level loses
+// when the consumer drains at the fixed cadence. For a fixed seed the
+// profile is bit-identical across runs and Parallelism settings.
+func StreamDrops(spec workloads.Spec, ringBytes int, opt ExpOptions) StreamDropProfile {
+	opt.StreamBytes = ringBytes
+	res := StreamAgreement(spec, opt)
+	return StreamDropProfile{Workload: spec.Name, RingBytes: ringBytes, Points: res.Points}
+}
+
+// RenderStreamDrops formats the loss profile.
+func RenderStreamDrops(r StreamDropProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ring overflow profile: %s (ring %d B, drain every %v)\n",
+		r.Workload, r.RingBytes, streamDrainEvery)
+	fmt.Fprintf(&b, "%-6s | %8s | %8s | %9s\n", "level", "events", "dropped", "loss")
+	for _, p := range r.Points {
+		total := p.Stream.Events + p.Stream.Dropped
+		loss := 0.0
+		if total > 0 {
+			loss = 100 * float64(p.Stream.Dropped) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-6.2f | %8d | %8d | %8.2f%%\n",
+			p.Level, p.Stream.Events, p.Stream.Dropped, loss)
+	}
+	return b.String()
+}
+
+// StreamDrainInterval returns the fixed simulated-time cadence at which
+// Rig.Advance drains an attached streaming observer.
+func StreamDrainInterval() time.Duration { return streamDrainEvery }

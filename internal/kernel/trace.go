@@ -147,6 +147,16 @@ func (tr *Tracer) AddListener(fn Listener) { tr.listeners = append(tr.listeners,
 // Runs returns total eBPF program executions.
 func (tr *Tracer) Runs() uint64 { return tr.runs }
 
+// Attached returns the number of currently attached links across all
+// tracepoints (attach/detach bookkeeping for tests and diagnostics).
+func (tr *Tracer) Attached() int {
+	n := 0
+	for _, ls := range tr.links {
+		n += len(ls)
+	}
+	return n
+}
+
 // RunErrors returns the count of program runtime faults (should stay 0
 // for verified programs).
 func (tr *Tracer) RunErrors() uint64 { return tr.runErrs }

@@ -22,6 +22,7 @@ const (
 type PollProbe struct {
 	Stats *ebpf.ArrayMap
 	Start *ebpf.HashMap
+	Ring  *ebpf.RingBuf // nil for the batch (aggregate-only) variant
 	enter *ebpf.Program
 	exit  *ebpf.Program
 	links []*kernel.Link
@@ -31,12 +32,33 @@ type PollProbe struct {
 // NewPollProbe builds the entry/exit program pair for the poll syscalls
 // in nrs, filtered to tgid (0 = all).
 func NewPollProbe(name string, tgid int, nrs []int) (*PollProbe, error) {
+	return newPollProbe(name, tgid, nrs, nil)
+}
+
+// NewPollProbeStream is NewPollProbe plus event streaming: each completed
+// poll also commits an EventPoll record (ts, pid_tgid, nr, duration) into
+// ring, alongside the unchanged aggregate-map updates.
+func NewPollProbeStream(name string, tgid int, nrs []int, ring *ebpf.RingBuf) (*PollProbe, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("probes: stream poll probe requires a ring buffer")
+	}
+	return newPollProbe(name, tgid, nrs, ring)
+}
+
+func newPollProbe(name string, tgid int, nrs []int, ring *ebpf.RingBuf) (*PollProbe, error) {
 	if len(nrs) == 0 || len(nrs) > 4 {
 		return nil, fmt.Errorf("probes: need 1..4 syscall numbers, got %d", len(nrs))
 	}
 	stats := ebpf.NewArrayMap(name+"_stats", psValueSize, 1)
 	start := ebpf.NewHashMap(name+"_start", 8, 8, 4096)
 	maps := map[int32]ebpf.Map{fdStats: stats, fdStart: start}
+	if ring != nil {
+		maps[fdRingbuf] = ring
+	}
+
+	// Event record scratch below the key/value slots the exit program
+	// already uses in [-16, 0).
+	const rec = -16 - int16(EventSize)
 
 	// sys_enter: start[pid_tgid] = now
 	a := ebpf.NewAssembler()
@@ -70,6 +92,15 @@ func NewPollProbe(name string, tgid int, nrs []int) (*PollProbe, error) {
 	b := ebpf.NewAssembler()
 	emitTgidFilter(b, tgid)
 	emitSyscallFilter(b, nrs)
+	if ring != nil {
+		// pid_tgid and nr must be captured before R8 is reused for the
+		// duration.
+		b.Emit(
+			ebpf.StoreMem(ebpf.R10, rec+evOffPidTgid, ebpf.R9, ebpf.SizeDW),
+			ebpf.StoreMem(ebpf.R10, rec+evOffNR, ebpf.R8, ebpf.SizeDW),
+			ebpf.StoreImm(ebpf.R10, rec+evOffNR+4, evMetaPoll, ebpf.SizeW),
+		)
+	}
 	b.Emit(ebpf.StoreMem(ebpf.R10, -8, ebpf.R9, ebpf.SizeDW)) // key = pid_tgid
 	b.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStart))
 	b.Emit(
@@ -80,10 +111,16 @@ func NewPollProbe(name string, tgid int, nrs []int) (*PollProbe, error) {
 	b.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "out")              // no entry seen (attach race)
 	b.Emit(ebpf.LoadMem(ebpf.R7, ebpf.R0, 0, ebpf.SizeDW)) // R7 = start ts
 	b.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	if ring != nil {
+		b.Emit(ebpf.StoreMem(ebpf.R10, rec+evOffTS, ebpf.R0, ebpf.SizeDW))
+	}
 	b.Emit(
 		ebpf.Mov64Reg(ebpf.R8, ebpf.R0),
 		ebpf.Sub64Reg(ebpf.R8, ebpf.R7), // R8 = duration
 	)
+	if ring != nil {
+		b.Emit(ebpf.StoreMem(ebpf.R10, rec+evOffValue, ebpf.R8, ebpf.SizeDW))
+	}
 	// delete start[pid_tgid]
 	b.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdStart))
 	b.Emit(
@@ -108,6 +145,9 @@ func NewPollProbe(name string, tgid int, nrs []int) (*PollProbe, error) {
 		ebpf.Add64Reg(ebpf.R1, ebpf.R8),
 		ebpf.StoreMem(ebpf.R0, psOffSumNS, ebpf.R1, ebpf.SizeDW),
 	)
+	if ring != nil {
+		emitEventOutput(b, rec)
+	}
 	b.Label("out")
 	b.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
 	exit, err := ebpf.Load(ebpf.ProgramSpec{
@@ -118,7 +158,7 @@ func NewPollProbe(name string, tgid int, nrs []int) (*PollProbe, error) {
 		return nil, err
 	}
 
-	return &PollProbe{Stats: stats, Start: start, enter: enter, exit: exit, nrs: nrs}, nil
+	return &PollProbe{Stats: stats, Start: start, Ring: ring, enter: enter, exit: exit, nrs: nrs}, nil
 }
 
 // MustNewPollProbe panics on build failure.

@@ -55,9 +55,11 @@ const (
 )
 
 // DeltaProbe accumulates inter-call deltas of a syscall family in kernel
-// space.
+// space. The stream variant additionally emits one fixed-size MetricEvent
+// per matched call into a shared ring buffer.
 type DeltaProbe struct {
 	Stats *ebpf.ArrayMap
+	Ring  *ebpf.RingBuf // nil for the batch (aggregate-only) variant
 	prog  *ebpf.Program
 	link  *kernel.Link
 	nrs   []int
@@ -66,17 +68,51 @@ type DeltaProbe struct {
 // NewDeltaProbe builds and verifies the delta program for the syscall
 // numbers in nrs (1..4 entries), filtered to tgid (0 = all processes).
 func NewDeltaProbe(name string, tgid int, nrs []int) (*DeltaProbe, error) {
+	return newDeltaProbe(name, tgid, nrs, nil)
+}
+
+// NewDeltaProbeStream is NewDeltaProbe plus event streaming: every matched
+// call also commits an EventDelta record (ts, pid_tgid, nr, delta) into
+// ring, alongside the unchanged aggregate-map updates. The warmup call —
+// the first match, which defines no delta — is emitted with the First
+// flag so the consumer can reconstruct the aggregate state exactly.
+func NewDeltaProbeStream(name string, tgid int, nrs []int, ring *ebpf.RingBuf) (*DeltaProbe, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("probes: stream delta probe requires a ring buffer")
+	}
+	return newDeltaProbe(name, tgid, nrs, ring)
+}
+
+func newDeltaProbe(name string, tgid int, nrs []int, ring *ebpf.RingBuf) (*DeltaProbe, error) {
 	if len(nrs) == 0 || len(nrs) > 4 {
 		return nil, fmt.Errorf("probes: need 1..4 syscall numbers, got %d", len(nrs))
 	}
 	stats := ebpf.NewArrayMap(name+"_stats", dsValueSize, 1)
+	maps := map[int32]ebpf.Map{fdStats: stats}
+
+	// Event record scratch at the top of the frame, [-EventSize, 0). The
+	// stats key slot at -4 overlaps the value field; both branches store
+	// the value after the key is consumed by the lookup.
+	const rec = -int16(EventSize)
 
 	a := ebpf.NewAssembler()
 	emitTgidFilter(a, tgid)
 	emitSyscallFilter(a, nrs)
 
+	if ring != nil {
+		maps[fdRingbuf] = ring
+		// pid_tgid must be captured before R9 is reused for the clock.
+		a.Emit(ebpf.StoreMem(ebpf.R10, rec+evOffPidTgid, ebpf.R9, ebpf.SizeDW))
+	}
 	a.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
 	a.Emit(ebpf.Mov64Reg(ebpf.R9, ebpf.R0)) // R9 = now (thread id no longer needed)
+	if ring != nil {
+		a.Emit(
+			ebpf.StoreMem(ebpf.R10, rec+evOffTS, ebpf.R9, ebpf.SizeDW),
+			ebpf.StoreMem(ebpf.R10, rec+evOffNR, ebpf.R8, ebpf.SizeDW),
+			ebpf.StoreImm(ebpf.R10, rec+evOffNR+4, evMetaDelta, ebpf.SizeW),
+		)
+	}
 
 	// stats = lookup(&key0)
 	a.Emit(ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.SizeW))
@@ -104,6 +140,13 @@ func NewDeltaProbe(name string, tgid int, nrs []int) (*DeltaProbe, error) {
 	// a timestamp of 0 is a legal clock reading.
 	a.JumpImm(ebpf.JmpJNE, ebpf.R7, 0, "delta")
 	a.Emit(ebpf.StoreMem(ebpf.R0, dsOffFirstTS, ebpf.R9, ebpf.SizeDW))
+	if ring != nil {
+		a.Emit(
+			ebpf.StoreImm(ebpf.R10, rec+evOffNR+4, evMetaDeltaFirst, ebpf.SizeW),
+			ebpf.StoreImm(ebpf.R10, rec+evOffValue, 0, ebpf.SizeDW),
+		)
+		emitEventOutput(a, rec)
+	}
 	a.Jump("out")
 
 	a.Label("delta")
@@ -112,6 +155,9 @@ func NewDeltaProbe(name string, tgid int, nrs []int) (*DeltaProbe, error) {
 		ebpf.Mov64Reg(ebpf.R3, ebpf.R9),
 		ebpf.Sub64Reg(ebpf.R3, ebpf.R2),
 	)
+	if ring != nil {
+		a.Emit(ebpf.StoreMem(ebpf.R10, rec+evOffValue, ebpf.R3, ebpf.SizeDW))
+	}
 	// count++
 	a.Emit(
 		ebpf.LoadMem(ebpf.R4, ebpf.R0, dsOffCount, ebpf.SizeDW),
@@ -133,6 +179,9 @@ func NewDeltaProbe(name string, tgid int, nrs []int) (*DeltaProbe, error) {
 		ebpf.Add64Reg(ebpf.R4, ebpf.R5),
 		ebpf.StoreMem(ebpf.R0, dsOffSumSqUS, ebpf.R4, ebpf.SizeDW),
 	)
+	if ring != nil {
+		emitEventOutput(a, rec)
+	}
 
 	a.Label("out")
 	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
@@ -140,13 +189,13 @@ func NewDeltaProbe(name string, tgid int, nrs []int) (*DeltaProbe, error) {
 	prog, err := ebpf.Load(ebpf.ProgramSpec{
 		Name:    name,
 		Insns:   a.MustAssemble(),
-		Maps:    map[int32]ebpf.Map{fdStats: stats},
+		Maps:    maps,
 		CtxSize: kernel.SysEnterCtxSize,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DeltaProbe{Stats: stats, prog: prog, nrs: nrs}, nil
+	return &DeltaProbe{Stats: stats, Ring: ring, prog: prog, nrs: nrs}, nil
 }
 
 // MustNewDeltaProbe panics on build failure.

@@ -321,7 +321,8 @@ func TestStreamProbeRoundTrip(t *testing.T) {
 func TestStreamProbeDropsWhenFull(t *testing.T) {
 	env, k := rig(1)
 	srv := k.NewProcess("srv")
-	probe := MustNewStreamProbe("raw", srv.TGID(), 80) // room for 2 records
+	// Each 40-byte record costs 48 bytes with its header: room for 2.
+	probe := MustNewStreamProbe("raw", srv.TGID(), 128)
 	if err := probe.Attach(k.Tracer()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_ringbuf.sh — run the ring-buffer throughput benchmark and write
+# the result as BENCH_ringbuf.json in the repo root (`make bench` runs
+# this after the general benchmark pass).
+#
+# The JSON records the benchmark's ns/op, MB/s, and allocation profile so
+# successive PRs can diff producer-path cost.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench BenchmarkRingbufThroughput -benchmem ./internal/ebpf/)
+echo "$out"
+
+# A -benchmem line looks like:
+#   BenchmarkRingbufThroughput-8  N  ns/op  MB/s  B/op  allocs/op
+echo "$out" | awk '
+/^BenchmarkRingbufThroughput/ {
+    name = $1
+    iters = $2
+    nsop = $3
+    mbs = ""
+    bop = ""
+    allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "MB/s")      mbs = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    printf "{\n"
+    printf "  \"benchmark\": \"%s\",\n", name
+    printf "  \"iterations\": %s,\n", iters
+    printf "  \"ns_per_op\": %s,\n", nsop
+    printf "  \"mb_per_s\": %s,\n", (mbs == "" ? "null" : mbs)
+    printf "  \"bytes_per_op\": %s,\n", (bop == "" ? "null" : bop)
+    printf "  \"allocs_per_op\": %s\n", (allocs == "" ? "null" : allocs)
+    printf "}\n"
+    found = 1
+}
+END { if (!found) exit 1 }
+' > BENCH_ringbuf.json
+
+echo "wrote BENCH_ringbuf.json:"
+cat BENCH_ringbuf.json

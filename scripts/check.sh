@@ -5,9 +5,11 @@
 #   go vet ./...                          static analysis
 #   go build ./...                        everything compiles
 #   go test ./...                         tier-1 suite
-#   go test -race ./internal/harness/...  engine + rig isolation under the
-#                                         race detector (the parallel
-#                                         engine's safety precondition)
+#   go test -race ./internal/harness/... ./internal/core/...
+#                                         engine + rig + observer attach
+#                                         paths under the race detector
+#                                         (the parallel engine's safety
+#                                         precondition)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race ./internal/harness/..."
-go test -race ./internal/harness/...
+echo "== go test -race ./internal/harness/... ./internal/core/..."
+go test -race ./internal/harness/... ./internal/core/...
 
 echo "check: ok"

@@ -1,9 +1,12 @@
 # Developer entry points. `make check` is the gate each PR must pass.
 
-.PHONY: check test race bench bench-ringbuf fmt vet build
+.PHONY: check test race bench bench-ringbuf fmt vet build golden
 
 check: ## gofmt + vet + build + tests + race on the harness
 	./scripts/check.sh
+
+golden: ## regenerate the Fig2/Table2 golden window fixtures
+	go test ./internal/harness -run TestGolden -update
 
 build:
 	go build ./...

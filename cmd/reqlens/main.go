@@ -12,7 +12,8 @@
 //	reqlens overhead [flags]            # probe cost on tail latency
 //	reqlens iouring [flags]             # Section V-C blind spot
 //	reqlens stream [flags]              # batch vs streaming observer agreement
-//	reqlens all   [flags]               # everything above
+//	reqlens robustness [flags]          # R^2 deltas under kernel fault plans
+//	reqlens all   [flags]               # everything above except robustness
 //
 // -quick shrinks windows/levels for a fast smoke run; -workload selects
 // one workload (default: all nine); -parallel N fans independent load
@@ -30,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"reqlens/internal/faults"
 	"reqlens/internal/harness"
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
@@ -37,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|all> [flags]")
 	os.Exit(2)
 }
 
@@ -125,6 +127,8 @@ func main() {
 			fmt.Print(harness.RenderStreamAgreement(harness.StreamAgreement(s, opt)))
 			fmt.Println()
 		}
+	case "robustness":
+		runRobustness(specs, opt)
 	case "all":
 		fmt.Print(machine.TableI())
 		fmt.Println()
@@ -192,6 +196,15 @@ func runFig5(opt harness.ExpOptions, quick bool) {
 	cfgs, _ := netemConfigs()
 	res := harness.Fig5(workloads.TritonGRPC(), cfgs, o)
 	fmt.Print(harness.RenderFig5(res))
+	fmt.Println()
+}
+
+// runRobustness reruns the Fig. 2 correlation protocol under every
+// standard fault plan (netem shaping plus the kernel-side injectors)
+// and reports each plan's R^2 delta against the fault-free baseline.
+func runRobustness(specs []workloads.Spec, opt harness.ExpOptions) {
+	rows := harness.RobustnessMatrix(specs, faults.StandardPlans(), opt)
+	fmt.Print(harness.RenderRobustness(rows))
 	fmt.Println()
 }
 

@@ -95,6 +95,29 @@ func (o *Observer) Detach() {
 	o.poll.Detach()
 }
 
+// Reattach restores a detached probe set on the same tracer. The maps
+// survive the detach window, so counters resume from their pre-detach
+// values — exactly what a restarted agent re-attaching its programs to
+// pinned maps observes. Calling it while attached is a no-op reattach
+// (detach first, then attach).
+func (o *Observer) Reattach() error {
+	o.Detach()
+	tr := o.k.Tracer()
+	if err := o.send.Attach(tr); err != nil {
+		return fmt.Errorf("core: reattach send: %w", err)
+	}
+	if err := o.recv.Attach(tr); err != nil {
+		o.send.Detach()
+		return fmt.Errorf("core: reattach recv: %w", err)
+	}
+	if err := o.poll.Attach(tr); err != nil {
+		o.send.Detach()
+		o.recv.Detach()
+		return fmt.Errorf("core: reattach poll: %w", err)
+	}
+	return nil
+}
+
 func (o *Observer) rebase() {
 	o.lastSend = o.send.Snapshot()
 	o.lastRecv = o.recv.Snapshot()

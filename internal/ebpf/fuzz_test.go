@@ -102,6 +102,13 @@ func FuzzVerifier(f *testing.F) {
 	b.Emit(Mov64Imm(R0, 0), Exit())
 	f.Add(Encode(b.MustAssemble()))
 	f.Add(Encode([]Instruction{Mov64Imm(R0, 0), Exit()}))
+	// Seeds from the differential generator: verifier-accepted programs
+	// mixing ALU, stack/ctx memory, pointer spills, branches, and every
+	// helper, so mutation starts deep inside the accepted grammar.
+	gen := rand.New(rand.NewSource(23))
+	for i := 0; i < 4; i++ {
+		f.Add(Encode(genProgram(gen)))
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		insns, err := Decode(raw)

@@ -160,9 +160,6 @@ func (v *verifier) structural() error {
 			if in.Dst >= R10 {
 				return &VerifierError{PC: pc, Reason: "write to frame pointer r10"}
 			}
-			if in.Dst >= NumRegisters || (!in.UsesImm() && in.Src >= NumRegisters) {
-				return &VerifierError{PC: pc, Reason: "invalid register"}
-			}
 			if (in.ALUOp() == ALUDiv || in.ALUOp() == ALUMod) && in.UsesImm() && in.Imm == 0 {
 				return &VerifierError{PC: pc, Reason: "division by zero immediate"}
 			}
@@ -216,9 +213,6 @@ func (v *verifier) structural() error {
 				}
 			} else if mode != ModeMEM {
 				return &VerifierError{PC: pc, Reason: "unsupported memory mode"}
-			}
-			if in.Class() != ClassLDX && Register(in.Dst) > R10 {
-				return &VerifierError{PC: pc, Reason: "invalid register"}
 			}
 			if in.Class() == ClassLDX && in.Dst >= R10 {
 				return &VerifierError{PC: pc, Reason: "load into frame pointer r10"}
@@ -386,7 +380,9 @@ func (v *verifier) explore(pc int, st *absState) error {
 				pc, st = fallPC, fallState
 			}
 		default:
-			return v.errf(pc, "unsupported instruction class %#x", in.Class())
+			// structural() admits no other class; reaching here is a
+			// verifier bug, not a program error.
+			panic(fmt.Sprintf("ebpf: verifier: unchecked class %#x at pc %d", in.Class(), pc))
 		}
 	}
 }
@@ -575,7 +571,7 @@ func (v *verifier) checkMem(pc int, st *absState, base absReg, off int64, size i
 			return v.errf(pc, "map value access [%d,%d) out of bounds [0,%d)", start, start+int64(size), base.m.ValueSize())
 		}
 		return nil
-	case tStack:
+	default: // tStack: the only remaining region type
 		start := base.off + off
 		end := start + int64(size)
 		if start < 0 || end > StackSize {
@@ -590,7 +586,6 @@ func (v *verifier) checkMem(pc int, st *absState, base absReg, off int64, size i
 		}
 		return nil
 	}
-	return v.errf(pc, "unknown region type")
 }
 
 func (v *verifier) checkLoad(pc int, in Instruction, st *absState) error {
@@ -651,7 +646,25 @@ func (v *verifier) checkStore(pc int, in Instruction, st *absState) error {
 		if err := v.checkMem(pc, st, base, int64(in.Off), size, true); err != nil {
 			return err
 		}
-		return v.checkMem(pc, st, base, int64(in.Off), size, false)
+		if err := v.checkMem(pc, st, base, int64(in.Off), size, false); err != nil {
+			return err
+		}
+		// The RMW scalar-overwrites the slot, so any spilled pointer
+		// overlapping it is gone (the runtime agrees: a later 8-byte load
+		// yields the raw bytes as a scalar, not a pointer).
+		if base.t == tStack {
+			start := base.off + int64(in.Off)
+			end := start + int64(size)
+			for slot := range st.spills {
+				if slot < end && slot+8 > start {
+					delete(st.spills, slot)
+				}
+			}
+			for i := start; i < end; i++ {
+				st.stack[i] = stackWritten
+			}
+		}
+		return nil
 	}
 
 	if srcReg.t != tScalar && srcReg.t != tMapHandle {
@@ -818,7 +831,9 @@ func (v *verifier) checkCall(pc int, id int32, st *absState) error {
 		}
 		ret = scalarReg()
 	default:
-		return v.errf(pc, "unknown helper function %d", id)
+		// structural() already rejected unknown helper ids via
+		// helperKnown; reaching here is a verifier bug.
+		panic(fmt.Sprintf("ebpf: verifier: unchecked helper %d at pc %d", id, pc))
 	}
 	st.regs[R0] = ret
 	for r := R1; r <= R5; r++ {

@@ -94,6 +94,12 @@ type vm struct {
 	stack region
 	ctx   region
 	stats RunStats
+	// spills tracks pointer words spilled to aligned 8-byte stack slots,
+	// keyed by absolute stack offset — the runtime twin of the verifier's
+	// spill map. The slot's raw bytes hold the pointer's region offset so
+	// partial re-reads (which lose pointer identity, as in the verifier's
+	// model) stay deterministic.
+	spills map[int64]word
 }
 
 // run interprets the program against ctx. ctx may be nil for programs
@@ -156,6 +162,11 @@ func (m *vm) exec() (uint64, error) {
 			m.stats.Instructions++ // second slot
 			pc += 2
 		case ClassLDX:
+			if w, ok := m.unspill(m.regs[in.Src], int64(in.Off), in.Size()); ok {
+				m.regs[in.Dst] = w
+				pc++
+				continue
+			}
 			v, err := m.load(pc, m.regs[in.Src], int64(in.Off), in.Size())
 			if err != nil {
 				return 0, err
@@ -164,11 +175,18 @@ func (m *vm) exec() (uint64, error) {
 			pc++
 		case ClassSTX:
 			src := m.regs[in.Src]
-			if !src.isScalar() {
-				return 0, m.fault(pc, "storing pointer to memory is not supported")
-			}
 			if in.Op&0xe0 == ModeAtomic {
+				if !src.isScalar() {
+					return 0, m.fault(pc, "atomic add of a pointer")
+				}
 				if err := m.atomic(pc, in, src.scalar); err != nil {
+					return 0, err
+				}
+				pc++
+				continue
+			}
+			if !src.isScalar() {
+				if err := m.spill(pc, in, src); err != nil {
 					return 0, err
 				}
 				pc++
@@ -431,6 +449,16 @@ func (m *vm) store(pc int, base word, off int64, size int, v uint64) error {
 	if err != nil {
 		return err
 	}
+	// Any stack overwrite invalidates overlapping spilled pointers, as in
+	// the verifier's model.
+	if base.isPointer() && base.region.kind == regionStack {
+		start := base.off + off
+		for slot := range m.spills {
+			if slot < start+int64(size) && slot+8 > start {
+				delete(m.spills, slot)
+			}
+		}
+	}
 	switch size {
 	case 1:
 		data[0] = byte(v)
@@ -444,9 +472,54 @@ func (m *vm) store(pc int, base word, off int64, size int, v uint64) error {
 	return nil
 }
 
+// spill stores a pointer or map handle word to the stack. The verifier
+// restricts these to aligned 8-byte stack slots. Map handles are written
+// as raw bytes only (re-reading one yields a scalar); pointers are
+// additionally recorded for restoration by an aligned 8-byte load.
+func (m *vm) spill(pc int, in Instruction, src word) error {
+	base := m.regs[in.Dst]
+	if !base.isPointer() || base.region.kind != regionStack || in.Size() != 8 {
+		return m.fault(pc, "pointer can only be spilled to an aligned 8-byte stack slot")
+	}
+	start := base.off + int64(in.Off)
+	if start%8 != 0 {
+		return m.fault(pc, "pointer spill must be 8-byte aligned")
+	}
+	if err := m.store(pc, base, int64(in.Off), 8, uint64(src.off)); err != nil {
+		return err
+	}
+	if src.region != nil {
+		if m.spills == nil {
+			m.spills = make(map[int64]word)
+		}
+		m.spills[start] = src
+	}
+	return nil
+}
+
+// unspill restores a spilled pointer: an aligned 8-byte load from a live
+// spill slot. Any other access reads the slot's raw bytes.
+func (m *vm) unspill(base word, off int64, size int) (word, bool) {
+	if size != 8 || !base.isPointer() || base.region.kind != regionStack {
+		return word{}, false
+	}
+	start := base.off + off
+	if start%8 != 0 || start < 0 || start+8 > int64(len(base.region.data)) {
+		return word{}, false
+	}
+	w, ok := m.spills[start]
+	return w, ok
+}
+
 // slice bounds-checks a memory access and returns the addressed bytes.
 // Stack accesses address downward from R10 (off is negative).
 func (m *vm) slice(pc int, base word, off int64, size int) ([]byte, error) {
+	if size == 0 {
+		// Zero-size accesses touch no memory; the verifier skips them
+		// (e.g. ring buffers have KeySize 0), so they must not fault here
+		// either, whatever the base register holds.
+		return nil, nil
+	}
 	if !base.isPointer() {
 		return nil, m.fault(pc, "memory access through non-pointer")
 	}

@@ -1,0 +1,22 @@
+// Package faults is the deterministic fault-injection subsystem: it
+// perturbs the kernel side of the simulation on a seed-driven schedule
+// and lets experiments measure whether the probe-derived metrics stay
+// put.
+//
+// A Plan is a composable schedule of injectors — CPU hotplug/offline
+// windows, thread-migration storms, clock jitter on the tracepoint
+// timestamp, noisy-neighbor syscall floods from a background tenant,
+// ring-buffer pressure stalls, and mid-run probe detach/reattach — plus
+// an optional netem link configuration for the paper's original
+// network-side perturbations. Arm schedules a plan's faults on a target
+// kernel's event loop; Clear cancels pending injections and undoes
+// active ones.
+//
+// Determinism: every injector draws randomness from a private stream
+// derived only from (Plan.Seed, fault index), never from the
+// simulation's root RNG, and arming a plan schedules events without
+// consuming entropy. Arming and immediately clearing a plan therefore
+// leaves the simulation bit-identical to never having armed it, and a
+// given (plan, rig seed) pair replays the exact same perturbation
+// sequence on every run and at any harness Parallelism.
+package faults

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"reqlens/internal/faults"
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
 	"reqlens/internal/probes"
@@ -32,6 +33,13 @@ type ExpOptions struct {
 	// Netem shapes the client-server link (delay/jitter/loss), as tc
 	// netem does in the paper's Section V. Zero value: ideal link.
 	Netem netsim.Config
+
+	// Plan is a fault-injection schedule armed on every measured point
+	// (after warmup, so fault windows land inside the measurement). The
+	// zero Plan is the fault-free baseline and leaves the run untouched
+	// bit-for-bit. A plan carrying a Netem config replaces opt.Netem for
+	// the whole run, since link shaping is not a windowed event.
+	Plan faults.Plan
 
 	// MinSends is the minimum number of send-family syscalls an
 	// estimation window must contain; windowFor sizes the measurement
@@ -134,6 +142,15 @@ func Quick() ExpOptions {
 	}
 }
 
+// planNetem resolves the link configuration for a measured point: a
+// plan carrying a netem config overrides opt.Netem for the whole run.
+func planNetem(opt ExpOptions) netsim.Config {
+	if opt.Plan.HasNetem() {
+		return opt.Plan.Netem
+	}
+	return opt.Netem
+}
+
 // windowFor sizes a measurement window to gather at least minSends send
 // syscalls at the given rate, with 20% slack and a 50ms floor. A
 // non-positive rate or send budget returns the floor.
@@ -172,12 +189,15 @@ func fig2Level(spec workloads.Spec, opt ExpOptions, li int) []Estimate {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
 	rig := NewRig(spec, RigOptions{
-		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: planNetem(opt),
 		Rate: rate, Probes: true,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
 	})
 	defer rig.Close()
 	rig.Warmup(opt.Warmup)
+	if !opt.Plan.Empty() {
+		rig.Arm(opt.Plan)
+	}
 	win := windowFor(opt.MinSends, rate)
 	// The paper pairs each estimation window's RPS_obsv with the
 	// benchmark-reported RPS of the whole load level, so the client
@@ -261,7 +281,7 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
 	rig := NewRig(spec, RigOptions{
-		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
+		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: planNetem(opt),
 		Rate: rate, Probes: true,
 		Stream: opt.Stream, StreamBytes: opt.StreamBytes,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
@@ -271,6 +291,9 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 		warm = opt.OverWarm // let overload queues accumulate
 	}
 	rig.Warmup(warm)
+	if !opt.Plan.Empty() {
+		rig.Arm(opt.Plan)
+	}
 	win := windowFor(opt.MinSends, rate)
 	m := rig.Measure(win)
 	rig.Close()

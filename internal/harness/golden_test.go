@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"reqlens/internal/netsim"
+	"reqlens/internal/workloads"
+)
+
+// updateGolden rewrites the golden files instead of comparing against
+// them: `make golden` (== go test ./internal/harness -run TestGolden
+// -update) after an intentional change to the measurement pipeline.
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// checkGolden marshals v and compares it byte-for-byte against the
+// checked-in golden file. Any drift — a changed window count, a single
+// float bit — fails, which is the point: the whole simulation stack
+// (scheduler, netsim, eBPF VM, probes, stats) feeds these numbers, so
+// an unintended semantic change anywhere shows up here.
+//
+// The comparison is exact, so the goldens are tied to strict IEEE-754
+// evaluation (amd64; on platforms where the compiler fuses multiply-add
+// differently the floats could drift harmlessly).
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `make golden` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (run `make golden` only if the change is intentional):\n%s",
+			name, firstDiff(want, got))
+	}
+}
+
+// firstDiff renders the first differing line of two byte slices.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}
+
+// TestGoldenFig2Windows pins the per-seed Fig. 2 estimation windows
+// (every RealRPS/ObsvRPS pair plus the regression) for two workloads at
+// Quick scale, seed 42.
+func TestGoldenFig2Windows(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-exact regression compare; re-running under -race adds no coverage")
+	}
+	for _, spec := range []workloads.Spec{workloads.Silo(), workloads.DataCaching()} {
+		res := Fig2(spec, Quick())
+		checkGolden(t, "fig2_"+spec.Name+".json", res)
+	}
+}
+
+// TestGoldenTable2Windows pins the Table II R^2 grid — the same
+// workloads under the paper's two netem settings — for seed 42.
+func TestGoldenTable2Windows(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-exact regression compare; re-running under -race adds no coverage")
+	}
+	cfgs := []netsim.Config{{}, {Delay: 10 * time.Millisecond, Loss: 0.01}}
+	rows := Table2([]workloads.Spec{workloads.Silo(), workloads.DataCaching()}, cfgs, Quick())
+	checkGolden(t, "table2.json", rows)
+}

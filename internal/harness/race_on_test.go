@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this test binary was built with -race.
+// Pure regression tests (byte-exact golden compares, R² physics
+// checks) skip under the race gate: they re-execute the same
+// single-threaded simulation many times slower without adding any
+// concurrency coverage, and the gate's job is the parallel engine.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"reqlens/internal/core"
+	"reqlens/internal/faults"
 	"reqlens/internal/kernel"
 	"reqlens/internal/loadgen"
 	"reqlens/internal/machine"
@@ -37,6 +38,11 @@ type RigOptions struct {
 	// Poisson switches the client to exponential interarrivals instead
 	// of fixed-rate pacing (ablation).
 	Poisson bool
+
+	// CaptureArrivals, when positive, records the virtual send time of
+	// up to that many client requests (loadgen.Client.Arrivals), for
+	// determinism audits.
+	CaptureArrivals int
 }
 
 // streamDrainEvery is how much simulated time Advance lets pass between
@@ -63,6 +69,9 @@ type Rig struct {
 	// Stream is the attached core.StreamObserver — the ring-buffer event
 	// pipeline. Nil when RigOptions.Stream is false.
 	Stream *core.StreamObserver
+
+	// Faults is the armed fault controller. Nil until Arm is called.
+	Faults *faults.Controller
 }
 
 // NewRig builds and starts a rig for spec. Traffic flows as soon as the
@@ -118,13 +127,29 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 		perOp = 0
 	}
 	r.Client = loadgen.New(r.ClientK, r.Server.Listener(), loadgen.Options{
-		Rate:      opt.Rate,
-		Conns:     conns,
-		ReqSize:   spec.ReqSize,
-		PerOpCost: perOp,
-		Poisson:   opt.Poisson,
+		Rate:            opt.Rate,
+		Conns:           conns,
+		ReqSize:         spec.ReqSize,
+		PerOpCost:       perOp,
+		Poisson:         opt.Poisson,
+		CaptureArrivals: opt.CaptureArrivals,
 	})
 	return r
+}
+
+// Arm schedules plan's faults against the server kernel (and the batch
+// observer, for probe-churn), with offsets relative to the current
+// simulated time — call it after Warmup so fault windows land inside
+// the measurement. The plan's Netem field is not applied here: link
+// shaping is a whole-run property that experiments fold into
+// RigOptions.Netem when building the rig.
+func (r *Rig) Arm(plan faults.Plan) *faults.Controller {
+	tgt := faults.Target{Kernel: r.ServerK}
+	if r.Obs != nil {
+		tgt.Probes = r.Obs
+	}
+	r.Faults = faults.MustArm(plan, tgt)
+	return r.Faults
 }
 
 // Advance drives the simulation forward by d. With a streaming observer
@@ -142,7 +167,12 @@ func (r *Rig) Advance(d time.Duration) {
 			step = d
 		}
 		r.Env.RunFor(step)
-		r.Stream.Poll()
+		// A RingStall fault pauses the consumer: producers keep filling
+		// the ring and start dropping once it is full, exactly like a
+		// wedged userspace reader.
+		if r.Faults == nil || !r.Faults.RingStalled() {
+			r.Stream.Poll()
+		}
 		d -= step
 	}
 }

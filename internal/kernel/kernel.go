@@ -47,6 +47,30 @@ func (k *Kernel) CPUs() int { return k.sched.ncpu }
 // RunQueueLen returns the instantaneous run queue depth (diagnostics).
 func (k *Kernel) RunQueueLen() int { return len(k.sched.runq) }
 
+// OnlineCPUs returns how many CPUs currently accept dispatches.
+func (k *Kernel) OnlineCPUs() int { return k.sched.onlineCount() }
+
+// OfflineCPUs removes up to n CPUs from dispatch (highest ids first),
+// modelling a hotplug/offline window: busy CPUs finish their current
+// occupant and then idle; at least one CPU always stays online. Returns
+// how many CPUs were actually taken offline.
+func (k *Kernel) OfflineCPUs(n int) int { return k.sched.offlineCPUs(n) }
+
+// OnlineAllCPUs returns every offlined CPU to service and immediately
+// dispatches queued threads onto the freed CPUs.
+func (k *Kernel) OnlineAllCPUs() { k.sched.onlineAllCPUs() }
+
+// FlushCPUAffinity forgets each CPU's last-run thread so every CPU's
+// next dispatch pays the full context-switch cost, the accounting
+// signature of a mass thread migration.
+func (k *Kernel) FlushCPUAffinity() { k.sched.flushAffinity() }
+
+// SchedCounters reports cumulative scheduler activity: dispatches,
+// quantum-expiry preemptions, and charged context switches.
+func (k *Kernel) SchedCounters() (dispatches, preemptions, ctxSwitches uint64) {
+	return k.sched.dispatches, k.sched.preemptions, k.sched.ctxSwitches
+}
+
 // NewProcess registers a process (a tgid) named name.
 func (k *Kernel) NewProcess(name string) *Process {
 	k.nextID++

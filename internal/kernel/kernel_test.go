@@ -261,3 +261,113 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+// TestOfflineCPUsSerializes offlines one of two CPUs and checks that
+// two equal computations serialize on the survivor, then parallelize
+// again after re-onlining.
+func TestOfflineCPUsSerializes(t *testing.T) {
+	env, k := newTestKernel(2)
+	if got := k.OfflineCPUs(1); got != 1 {
+		t.Fatalf("OfflineCPUs(1) = %d, want 1", got)
+	}
+	if k.OnlineCPUs() != 1 {
+		t.Fatalf("OnlineCPUs = %d, want 1", k.OnlineCPUs())
+	}
+	p := k.NewProcess("srv")
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(5 * time.Millisecond)
+			ends = append(ends, t.Now())
+		})
+	}
+	env.Run()
+	last := ends[0]
+	if ends[1] > last {
+		last = ends[1]
+	}
+	if last != sim.Time(10*time.Millisecond) {
+		t.Fatalf("one online CPU should serialize 2x5ms to 10ms, got ends=%v", ends)
+	}
+
+	k.OnlineAllCPUs()
+	if k.OnlineCPUs() != 2 {
+		t.Fatalf("OnlineCPUs after online-all = %d, want 2", k.OnlineCPUs())
+	}
+	ends = nil
+	for i := 0; i < 2; i++ {
+		p.SpawnThread("w2", func(t *Thread) {
+			t.Compute(5 * time.Millisecond)
+			ends = append(ends, t.Now())
+		})
+	}
+	env.Run()
+	for _, e := range ends {
+		if e != sim.Time(15*time.Millisecond) {
+			t.Fatalf("restored CPUs should run in parallel: ends=%v", ends)
+		}
+	}
+}
+
+// TestOfflineCPUsKeepsOneOnline verifies the floor: a kernel never
+// offlines its last CPU no matter how large the request.
+func TestOfflineCPUsKeepsOneOnline(t *testing.T) {
+	_, k := newTestKernel(4)
+	if got := k.OfflineCPUs(99); got != 3 {
+		t.Fatalf("OfflineCPUs(99) = %d, want 3", got)
+	}
+	if k.OnlineCPUs() != 1 {
+		t.Fatalf("OnlineCPUs = %d, want 1", k.OnlineCPUs())
+	}
+	if got := k.OfflineCPUs(1); got != 0 {
+		t.Fatalf("offlining the last CPU should refuse, got %d", got)
+	}
+}
+
+// TestOnlineAllDispatchesWaiters parks threads behind an offline window
+// and checks re-onlining dispatches the queue without external nudges.
+func TestOnlineAllDispatchesWaiters(t *testing.T) {
+	env, k := newTestKernel(2)
+	k.OfflineCPUs(1)
+	p := k.NewProcess("srv")
+	done := 0
+	for i := 0; i < 3; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(4 * time.Millisecond)
+			done++
+		})
+	}
+	env.Schedule(2*time.Millisecond, func() { k.OnlineAllCPUs() })
+	env.Run()
+	if done != 3 {
+		t.Fatalf("only %d/3 threads completed after re-online", done)
+	}
+}
+
+// TestFlushCPUAffinityChargesSwitch verifies that flushing affinity
+// forces the next dispatch to pay the context-switch cost even for the
+// CPU's previous occupant.
+func TestFlushCPUAffinityChargesSwitch(t *testing.T) {
+	prof := smallProfile(1)
+	prof.ContextSwitchCost = 100 * time.Microsecond
+	env := sim.NewEnv(1)
+	k := New(env, prof)
+	p := k.NewProcess("srv")
+	var end sim.Time
+	p.SpawnThread("w", func(t *Thread) {
+		t.Compute(time.Millisecond) // pays one switch (fresh CPU)
+		t.Compute(time.Millisecond) // affinity hit: no switch
+		k.FlushCPUAffinity()
+		t.Compute(time.Millisecond) // flushed: pays the switch again
+		end = t.Now()
+	})
+	env.Run()
+	want := sim.Time(3*time.Millisecond + 2*100*time.Microsecond)
+	if end != want {
+		t.Fatalf("end = %v, want %v (2 switch charges)", end, want)
+	}
+	d, _, cs := k.SchedCounters()
+	if d == 0 || cs != 2 {
+		t.Fatalf("SchedCounters: dispatches=%d ctxSwitches=%d, want 2 switches", d, cs)
+	}
+}

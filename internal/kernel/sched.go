@@ -4,9 +4,10 @@ import "time"
 
 // cpu is one logical processor.
 type cpu struct {
-	id   int
-	busy bool
-	last *Thread // previous occupant, for context-switch accounting
+	id      int
+	busy    bool
+	offline bool    // removed from dispatch (hotplug fault injection)
+	last    *Thread // previous occupant, for context-switch accounting
 }
 
 // scheduler is a FIFO run queue with timeslice preemption over a fixed
@@ -41,7 +42,7 @@ func newScheduler(k *Kernel, ncpu int, slice, switchCost time.Duration) *schedul
 func (s *scheduler) idleCPU(t *Thread) *cpu {
 	var free *cpu
 	for _, c := range s.cpus {
-		if !c.busy {
+		if !c.busy && !c.offline {
 			if c.last == t {
 				return c
 			}
@@ -95,7 +96,9 @@ func (s *scheduler) release(t *Thread) {
 	}
 	c.last = t
 	t.cpu = nil
-	if len(s.runq) > 0 {
+	// An offlined CPU finishes its current occupant but accepts no new
+	// work until it comes back online.
+	if len(s.runq) > 0 && !c.offline {
 		next := s.runq[0]
 		s.runq = s.runq[1:]
 		next.cpu = c
@@ -104,6 +107,65 @@ func (s *scheduler) release(t *Thread) {
 		return
 	}
 	c.busy = false
+}
+
+// offlineCPUs removes up to n CPUs from dispatch (highest ids first),
+// always leaving at least one online. A busy CPU finishes its current
+// occupant and then idles. Returns how many CPUs were newly offlined.
+func (s *scheduler) offlineCPUs(n int) int {
+	online := 0
+	for _, c := range s.cpus {
+		if !c.offline {
+			online++
+		}
+	}
+	took := 0
+	for i := len(s.cpus) - 1; i >= 0 && took < n && online-took > 1; i-- {
+		c := s.cpus[i]
+		if !c.offline {
+			c.offline = true
+			took++
+		}
+	}
+	return took
+}
+
+// onlineAllCPUs returns every offlined CPU to service, dispatching
+// queued threads onto the freed CPUs immediately.
+func (s *scheduler) onlineAllCPUs() {
+	for _, c := range s.cpus {
+		if !c.offline {
+			continue
+		}
+		c.offline = false
+		if !c.busy && len(s.runq) > 0 {
+			next := s.runq[0]
+			s.runq = s.runq[1:]
+			next.cpu = c
+			c.busy = true
+			s.dispatches++
+			next.waker.Wake()
+		}
+	}
+}
+
+func (s *scheduler) onlineCount() int {
+	n := 0
+	for _, c := range s.cpus {
+		if !c.offline {
+			n++
+		}
+	}
+	return n
+}
+
+// flushAffinity forgets every CPU's last occupant, so each CPU's next
+// dispatch pays the full context-switch cost — the accounting effect of
+// a mass thread migration.
+func (s *scheduler) flushAffinity() {
+	for _, c := range s.cpus {
+		c.last = nil
+	}
 }
 
 // compute runs t for total CPU time d. The thread's quantum carries

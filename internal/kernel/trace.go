@@ -109,6 +109,12 @@ type Tracer struct {
 	listeners []Listener
 	cur       *Thread
 
+	// warp, when set, transforms the tracepoint clock before eBPF
+	// programs read it (fault injection for timestamp jitter). It is
+	// applied only to KtimeGetNS, so ground-truth listeners and the
+	// simulation itself keep the raw virtual clock.
+	warp func(uint64) uint64
+
 	runs     uint64
 	runErrs  uint64
 	lastErr  error
@@ -164,8 +170,20 @@ func (tr *Tracer) RunErrors() uint64 { return tr.runErrs }
 // LastError returns the most recent program fault, if any.
 func (tr *Tracer) LastError() error { return tr.lastErr }
 
+// SetClockWarp installs (or, with nil, removes) a transform over the
+// tracepoint clock: while set, KtimeGetNS returns fn(raw). Injectors
+// use it to model timestamp jitter as seen by in-kernel programs
+// without disturbing the simulation clock.
+func (tr *Tracer) SetClockWarp(fn func(uint64) uint64) { tr.warp = fn }
+
 // KtimeGetNS implements ebpf.HelperEnv against virtual time.
-func (tr *Tracer) KtimeGetNS() uint64 { return uint64(tr.k.env.Now()) }
+func (tr *Tracer) KtimeGetNS() uint64 {
+	t := uint64(tr.k.env.Now())
+	if tr.warp != nil {
+		return tr.warp(t)
+	}
+	return t
+}
 
 // CurrentPidTgid implements ebpf.HelperEnv for the traced thread.
 func (tr *Tracer) CurrentPidTgid() uint64 { return tr.cur.PidTgid() }

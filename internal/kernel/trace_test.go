@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"reqlens/internal/ebpf"
+	"reqlens/internal/sim"
 )
 
 // counterProg counts sys_enter hits for one syscall nr in slot 0 of an
@@ -192,5 +193,63 @@ func TestHelperEnvValuesInsideProbe(t *testing.T) {
 	}
 	if got := binary.LittleEndian.Uint64(vals.At(1)); got != callTime {
 		t.Fatalf("probe ktime = %d, want %d", got, callTime)
+	}
+}
+
+// TestClockWarpOnlyAffectsProbes installs a tracepoint clock warp and
+// checks eBPF programs see the warped time while ground-truth listeners
+// keep the raw virtual clock; removing the warp restores raw time.
+func TestClockWarpOnlyAffectsProbes(t *testing.T) {
+	env, k := newTestKernel(1)
+	vals := ebpf.NewArrayMap("vals", 8, 1)
+	a := ebpf.NewAssembler()
+	a.Emit(ebpf.Call(ebpf.HelperKtimeGetNS))
+	a.Emit(ebpf.Mov64Reg(ebpf.R6, ebpf.R0))
+	a.Emit(ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.SizeW))
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, 1))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -4),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+	)
+	a.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "out")
+	a.Emit(ebpf.StoreMem(ebpf.R0, 0, ebpf.R6, ebpf.SizeDW))
+	a.Label("out")
+	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+	prog := ebpf.MustLoad(ebpf.ProgramSpec{
+		Name: "ktime", Insns: a.MustAssemble(),
+		Maps: map[int32]ebpf.Map{1: vals}, CtxSize: SysEnterCtxSize,
+	})
+	k.Tracer().MustAttach(RawSysEnter, prog)
+
+	var listenerTime sim.Time
+	k.Tracer().AddListener(func(ev SyscallEvent) {
+		if ev.Enter {
+			listenerTime = ev.Time
+		}
+	})
+	const skew = 12345
+	k.Tracer().SetClockWarp(func(raw uint64) uint64 { return raw + skew })
+
+	p := k.NewProcess("srv")
+	var callTime, warped, cleared uint64
+	p.SpawnThread("w", func(t *Thread) {
+		t.Sleep(2 * time.Millisecond)
+		callTime = uint64(t.Now())
+		t.Invoke(SysRead, [6]uint64{}, func() int64 { return 0 })
+		warped = binary.LittleEndian.Uint64(vals.At(0))
+		k.Tracer().SetClockWarp(nil)
+		t.Invoke(SysRead, [6]uint64{}, func() int64 { return 0 })
+		cleared = binary.LittleEndian.Uint64(vals.At(0))
+	})
+	env.Run()
+	if warped < callTime+skew {
+		t.Fatalf("probe time %d not warped (call at %d)", warped, callTime)
+	}
+	if uint64(listenerTime) >= callTime+skew {
+		t.Fatalf("listener time %v should be raw, not warped", listenerTime)
+	}
+	if cleared >= callTime+skew {
+		t.Fatalf("after clearing warp, probe time %d still warped", cleared)
 	}
 }

@@ -29,6 +29,12 @@ type Options struct {
 	// Poisson selects exponential interarrival gaps; the default is
 	// uniform pacing per generator, as fixed-rate loaders do.
 	Poisson bool
+
+	// CaptureArrivals, when positive, records the virtual send time of
+	// up to that many requests (in request-ID order), independent of
+	// measurement windows. Arrivals returns them; determinism tests
+	// compare the sequences across runs.
+	CaptureArrivals int
 }
 
 // Client is one open-loop load generator attached to a workload.
@@ -48,6 +54,8 @@ type Client struct {
 	completed uint64
 	hist      *stats.Histogram
 	lifetime  uint64 // responses ever received
+
+	arrivals []sim.Time // first CaptureArrivals send times
 }
 
 // New connects a client to the listener with opts.Conns connections and
@@ -123,6 +131,9 @@ func New(k *kernel.Kernel, l *netsim.Listener, opts Options) *Client {
 				c.nextID++
 				id := c.nextID
 				c.sentAt[id] = t.Now()
+				if len(c.arrivals) < c.opts.CaptureArrivals {
+					c.arrivals = append(c.arrivals, t.Now())
+				}
 				if c.measuring {
 					c.sent++
 				}
@@ -199,3 +210,12 @@ func (c *Client) Lifetime() uint64 { return c.lifetime }
 
 // Outstanding returns requests awaiting responses.
 func (c *Client) Outstanding() int { return len(c.sentAt) }
+
+// Arrivals returns the captured send times (up to
+// Options.CaptureArrivals entries, in send order). The returned slice
+// is a copy.
+func (c *Client) Arrivals() []sim.Time {
+	out := make([]sim.Time, len(c.arrivals))
+	copy(out, c.arrivals)
+	return out
+}

@@ -10,6 +10,9 @@
 #                                         paths under the race detector
 #                                         (the parallel engine's safety
 #                                         precondition)
+#   go test -cover (floors)               per-package coverage floors on
+#                                         the packages where a silent
+#                                         regression is most dangerous
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +35,31 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race ./internal/harness/... ./internal/core/..."
-go test -race ./internal/harness/... ./internal/core/...
+# The race-instrumented harness suite runs ~10x slower than native on a
+# single core; give it explicit headroom past go test's 10m default.
+go test -race -timeout 20m ./internal/harness/... ./internal/core/...
+
+echo "== go test -cover (floors)"
+# cover_floor <pkg> <floor-pct> fails the gate when the package's
+# statement coverage drops below the floor.
+cover_floor() {
+    pkg=$1
+    floor=$2
+    line=$(go test -cover "$pkg")
+    pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "no coverage reported for $pkg:" >&2
+        echo "$line" >&2
+        exit 1
+    fi
+    if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? "ok" : "low" }')" != ok ]; then
+        echo "coverage for $pkg is ${pct}%, below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "$pkg: ${pct}% (floor ${floor}%)"
+}
+cover_floor ./internal/ebpf 70
+cover_floor ./internal/probes 70
+cover_floor ./internal/faults 70
 
 echo "check: ok"

@@ -17,11 +17,12 @@ test:
 race: ## the parallel engine's safety gate
 	go test -race ./internal/harness/... ./internal/core/...
 
-bench: bench-ringbuf ## regenerate every table/figure at bench scale
+bench: ## regenerate every table/figure at bench scale, then all BENCH_*.json microbenches
 	go test -bench=. -benchmem
+	./scripts/bench.sh
 
 bench-ringbuf: ## ring-buffer producer-path throughput -> BENCH_ringbuf.json
-	./scripts/bench_ringbuf.sh
+	./scripts/bench.sh ringbuf
 
 fmt:
 	gofmt -w .

@@ -18,6 +18,7 @@ import (
 	"reqlens/internal/netsim"
 	"reqlens/internal/sim"
 	"reqlens/internal/stats"
+	"reqlens/internal/telemetry"
 	"reqlens/internal/workloads"
 )
 
@@ -337,12 +338,21 @@ func BenchmarkEBPFInterpreterListing1(b *testing.B) {
 	ctx := make([]byte, 64)
 	ctx[8] = 232
 	env := &ebpf.FixedEnv{TimeNS: 1, PidTgid: 7}
+	// Accumulate instructions retired through the telemetry registry —
+	// the same counter the kernel tracer feeds — and report the per-
+	// iteration cost alongside ns/op.
+	reg := telemetry.New()
+	insns := reg.Counter("vm_instructions_total")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := prog.Run(ctx, env); err != nil {
+		_, st, err := prog.Run(ctx, env)
+		if err != nil {
 			b.Fatal(err)
 		}
+		insns.Add(uint64(st.Instructions))
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(insns.Value())/float64(b.N), "insns/op")
 }
 
 func BenchmarkEBPFVerifier(b *testing.B) {

@@ -13,6 +13,7 @@
 //	reqlens iouring [flags]             # Section V-C blind spot
 //	reqlens stream [flags]              # batch vs streaming observer agreement
 //	reqlens robustness [flags]          # R^2 deltas under kernel fault plans
+//	reqlens telemetry -journal F [-top N] # render a recorded run journal
 //	reqlens all   [flags]               # everything above except robustness
 //
 // -quick shrinks windows/levels for a fast smoke run; -workload selects
@@ -23,6 +24,15 @@
 // attaches the ring-buffer streaming observer alongside the batch probes
 // in sweep commands (fig3/fig4), and -streambytes sizes its ring (power
 // of two; 0 = the 4 MiB default — undersize it to study the drop path).
+//
+// Every experiment subcommand also accepts the self-telemetry flags:
+// -metrics F writes the run's metric registry to F in Prometheus text
+// format on exit, and -journal F streams one JSONL span per experiment,
+// point and estimation window to F as the run progresses. Both are
+// write-only observers: enabling them cannot change any reported result
+// (the simulated clock never sees them). `reqlens telemetry -journal F`
+// renders a recorded journal as a per-phase summary plus the slowest
+// points.
 package main
 
 import (
@@ -35,11 +45,12 @@ import (
 	"reqlens/internal/harness"
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
+	"reqlens/internal/telemetry"
 	"reqlens/internal/workloads"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|telemetry|all> [flags]")
 	os.Exit(2)
 }
 
@@ -57,8 +68,16 @@ func main() {
 	progress := fs.Bool("progress", false, "log per-point completion and engine timing to stderr")
 	stream := fs.Bool("stream", false, "attach the streaming observer alongside the batch probes in sweeps")
 	streamBytes := fs.Int("streambytes", 0, "streaming ring size in bytes (power of two; 0 = 4 MiB default)")
+	metricsPath := fs.String("metrics", "", "write the run's metrics to this file in Prometheus text format on exit")
+	journalPath := fs.String("journal", "", "stream JSONL run-journal spans to this file (telemetry subcommand: read it)")
+	topN := fs.Int("top", 5, "telemetry subcommand: number of slowest points to list")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
+	}
+
+	if cmd == "telemetry" {
+		renderJournal(*journalPath, *topN)
+		return
 	}
 
 	opt := harness.ExpOptions{Seed: *seed}
@@ -72,6 +91,19 @@ func main() {
 	opt.Parallelism = *parallel
 	opt.Stream = *stream
 	opt.StreamBytes = *streamBytes
+	if *metricsPath != "" {
+		opt.Telemetry = telemetry.New()
+		defer writeMetrics(opt.Telemetry, *metricsPath)
+	}
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journal:", err)
+			os.Exit(1)
+		}
+		defer jf.Close()
+		opt.Journal = telemetry.NewJournal(jf)
+	}
 	if *progress {
 		opt.Progress = func(p harness.PointDone) {
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %8v (worker %d)\n",
@@ -215,6 +247,41 @@ func runOverhead(specs []workloads.Spec, opt harness.ExpOptions) {
 	}
 	fmt.Print(harness.RenderOverhead(rs))
 	fmt.Println()
+}
+
+// writeMetrics dumps the registry to path in Prometheus text format.
+func writeMetrics(r *telemetry.Registry, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := r.WriteProm(f); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+}
+
+// renderJournal reads a recorded run journal and prints its per-phase
+// summary and slowest points.
+func renderJournal(path string, topN int) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "usage: reqlens telemetry -journal <file> [-top N]")
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadJournal(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry:", err)
+		os.Exit(1)
+	}
+	fmt.Print(telemetry.RenderJournal(recs, topN))
 }
 
 func min(a, b int) int {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"reqlens/internal/ebpf"
 	"reqlens/internal/kernel"
 	"reqlens/internal/probes"
+	"reqlens/internal/telemetry"
 )
 
 // Config selects the process and syscall families to observe. The
@@ -187,5 +189,28 @@ func (o *Observer) ProbePrograms() map[string]int {
 		"recv":       o.recv.Program().Len(),
 		"poll_enter": o.poll.EnterProgram().Len(),
 		"poll_exit":  o.poll.ExitProgram().Len(),
+	}
+}
+
+// Instrument records the probe set's one-time verification cost into r:
+// verifier_programs_total (programs admitted) and verifier_states_total
+// (abstract states the verifier explored across them). A nil registry is
+// a no-op.
+func (o *Observer) Instrument(r *telemetry.Registry) {
+	recordVerifierCost(r, o.send.Program(), o.recv.Program(),
+		o.poll.EnterProgram(), o.poll.ExitProgram())
+}
+
+// recordVerifierCost adds each program's verifier state count to the
+// registry's load-time totals.
+func recordVerifierCost(r *telemetry.Registry, progs ...*ebpf.Program) {
+	if r == nil {
+		return
+	}
+	states := r.Counter("verifier_states_total")
+	count := r.Counter("verifier_programs_total")
+	for _, p := range progs {
+		states.Add(uint64(p.VerifierStates()))
+		count.Inc()
 	}
 }

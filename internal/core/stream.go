@@ -8,6 +8,7 @@ import (
 	"reqlens/internal/kernel"
 	"reqlens/internal/probes"
 	"reqlens/internal/stats"
+	"reqlens/internal/telemetry"
 )
 
 // DefaultStreamBytes is the default ring-buffer capacity for a
@@ -53,6 +54,20 @@ type StreamObserver struct {
 	lastPoll probes.PollSnapshot
 	lastAt   time.Duration
 	events   uint64 // events folded since the last rebase
+
+	// Telemetry counters plus the last-seen cumulative ring positions
+	// they were advanced to; nil counters (the uninstrumented state)
+	// skip the whole block. Drops surface here incrementally at every
+	// Poll, not only when a window is sampled.
+	telEvents     *telemetry.Counter
+	telProduced   *telemetry.Counter
+	telConsumed   *telemetry.Counter
+	telDropRecs   *telemetry.Counter
+	telDropBytes  *telemetry.Counter
+	seenProd      uint64
+	seenCons      uint64
+	seenDropRecs  uint64
+	seenDropBytes uint64
 }
 
 // AttachStream builds, verifies and attaches the streaming probe set on
@@ -146,7 +161,48 @@ func (o *StreamObserver) Poll() int {
 		o.fold(ev)
 	}
 	o.events += uint64(len(evs))
+	o.observeRing(uint64(len(evs)))
 	return len(evs)
+}
+
+// Instrument wires the observer's ring-buffer accounting into r
+// (stream_events_total, ringbuf_bytes_produced_total,
+// ringbuf_bytes_consumed_total, ringbuf_records_dropped_total,
+// ringbuf_bytes_dropped_total), counting from the ring's current state
+// so only activity after instrumentation is recorded. A nil registry
+// leaves the observer uninstrumented.
+func (o *StreamObserver) Instrument(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	o.telEvents = r.Counter("stream_events_total")
+	o.telProduced = r.Counter("ringbuf_bytes_produced_total")
+	o.telConsumed = r.Counter("ringbuf_bytes_consumed_total")
+	o.telDropRecs = r.Counter("ringbuf_records_dropped_total")
+	o.telDropBytes = r.Counter("ringbuf_bytes_dropped_total")
+	o.seenProd = o.ring.ProducerPos()
+	o.seenCons = o.ring.ConsumerPos()
+	o.seenDropRecs = o.ring.Dropped()
+	o.seenDropBytes = o.ring.DroppedBytes()
+	recordVerifierCost(r, o.send.Program(), o.recv.Program(),
+		o.poll.EnterProgram(), o.poll.ExitProgram())
+}
+
+// observeRing advances the telemetry counters by the ring's movement
+// since the previous Poll.
+func (o *StreamObserver) observeRing(events uint64) {
+	if o.telEvents == nil {
+		return
+	}
+	o.telEvents.Add(events)
+	prod, cons := o.ring.ProducerPos(), o.ring.ConsumerPos()
+	o.telProduced.Add(prod - o.seenProd)
+	o.telConsumed.Add(cons - o.seenCons)
+	o.seenProd, o.seenCons = prod, cons
+	drecs, dbytes := o.ring.Dropped(), o.ring.DroppedBytes()
+	o.telDropRecs.Add(drecs - o.seenDropRecs)
+	o.telDropBytes.Add(dbytes - o.seenDropBytes)
+	o.seenDropRecs, o.seenDropBytes = drecs, dbytes
 }
 
 // fold replays one event into the cumulative aggregates, mirroring the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"reqlens/internal/kernel"
+	"reqlens/internal/telemetry"
 )
 
 func streamConfig(tgid int) Config {
@@ -120,6 +121,73 @@ func TestStreamDropAccounting(t *testing.T) {
 	events2, dropped2 := run()
 	if events2 != events || dropped2 != dropped {
 		t.Fatalf("rerun diverged: (%d,%d) vs (%d,%d)", events2, dropped2, events, dropped)
+	}
+}
+
+// TestStreamTelemetryDropCounter undersizes the ring and checks that the
+// telemetry counter surfaces drops incrementally — a mid-run Poll already
+// reports a nonzero ringbuf_records_dropped_total, long before any window
+// is sampled — and that the final totals are deterministic and agree with
+// the producer-side ring accounting.
+func TestStreamTelemetryDropCounter(t *testing.T) {
+	run := func() (mid, dropped, droppedBytes, produced, consumed uint64) {
+		env, k := rig()
+		reg := telemetry.New()
+		srv := k.NewProcess("srv")
+		stream := MustAttachStream(k, streamConfig(srv.TGID()), 256)
+		stream.Instrument(reg)
+		srv.SpawnThread("w", func(th *kernel.Thread) {
+			for i := 0; i < 200; i++ {
+				th.Invoke(kernel.SysSendto, [6]uint64{}, func() int64 { return 64 })
+				th.Sleep(100 * time.Microsecond)
+			}
+		})
+		env.RunFor(10 * time.Millisecond)
+		stream.Poll()
+		mid = reg.Counter("ringbuf_records_dropped_total").Value()
+		env.Run()
+		stream.Poll()
+		return mid,
+			reg.Counter("ringbuf_records_dropped_total").Value(),
+			reg.Counter("ringbuf_bytes_dropped_total").Value(),
+			reg.Counter("ringbuf_bytes_produced_total").Value(),
+			reg.Counter("ringbuf_bytes_consumed_total").Value()
+	}
+	mid, dropped, droppedBytes, produced, consumed := run()
+	if mid == 0 {
+		t.Fatal("mid-run poll should already report drops on a 256-byte ring")
+	}
+	if dropped < mid {
+		t.Fatalf("final drop count %d below mid-run count %d", dropped, mid)
+	}
+	if dropped == 0 || droppedBytes == 0 {
+		t.Fatalf("drops = %d, dropped bytes = %d; both must be nonzero", dropped, droppedBytes)
+	}
+	if produced == 0 || produced != consumed {
+		t.Fatalf("after a full drain, produced %d must equal consumed %d (nonzero)", produced, consumed)
+	}
+	mid2, dropped2, droppedBytes2, produced2, consumed2 := run()
+	if mid2 != mid || dropped2 != dropped || droppedBytes2 != droppedBytes ||
+		produced2 != produced || consumed2 != consumed {
+		t.Fatalf("rerun diverged: (%d,%d,%d,%d,%d) vs (%d,%d,%d,%d,%d)",
+			mid2, dropped2, droppedBytes2, produced2, consumed2,
+			mid, dropped, droppedBytes, produced, consumed)
+	}
+}
+
+// TestObserverVerifierTelemetry checks that instrumenting an observer
+// records the one-time verifier cost of its four programs.
+func TestObserverVerifierTelemetry(t *testing.T) {
+	_, k := rig()
+	reg := telemetry.New()
+	obs := MustAttach(k, streamConfig(1))
+	defer obs.Detach()
+	obs.Instrument(reg)
+	if got := reg.Counter("verifier_programs_total").Value(); got != 4 {
+		t.Fatalf("verifier_programs_total = %d, want 4", got)
+	}
+	if got := reg.Counter("verifier_states_total").Value(); got == 0 {
+		t.Fatal("verifier_states_total should be nonzero for verified programs")
 	}
 }
 

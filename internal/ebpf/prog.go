@@ -20,6 +20,7 @@ type Program struct {
 	maps    map[int32]Map
 	ctxSize int
 	runs    uint64
+	vstates int // abstract states the verifier explored to admit it
 }
 
 // Load verifies and loads a program. It fails exactly when the verifier
@@ -32,12 +33,13 @@ func Load(spec ProgramSpec) (*Program, error) {
 	if maps == nil {
 		maps = map[int32]Map{}
 	}
-	if err := verify(spec.Insns, maps, spec.CtxSize); err != nil {
+	states, err := verify(spec.Insns, maps, spec.CtxSize)
+	if err != nil {
 		return nil, fmt.Errorf("ebpf: load %q: %w", spec.Name, err)
 	}
 	insns := make([]Instruction, len(spec.Insns))
 	copy(insns, spec.Insns)
-	return &Program{name: spec.Name, insns: insns, maps: maps, ctxSize: spec.CtxSize}, nil
+	return &Program{name: spec.Name, insns: insns, maps: maps, ctxSize: spec.CtxSize, vstates: states}, nil
 }
 
 // MustLoad is Load but panics on error, for statically-known programs.
@@ -60,6 +62,11 @@ func (p *Program) CtxSize() int { return p.ctxSize }
 
 // Runs returns how many times the program has executed.
 func (p *Program) Runs() uint64 { return p.runs }
+
+// VerifierStates returns how many abstract states the verifier explored
+// to admit this program — its one-time load cost, surfaced by the
+// telemetry registry as verifier_states_total.
+func (p *Program) VerifierStates() int { return p.vstates }
 
 // Map returns the map loaded at fd, or nil.
 func (p *Program) Map(fd int32) Map { return p.maps[fd] }

@@ -26,9 +26,10 @@ type RingBuf struct {
 	prod uint64
 	cons uint64
 
-	dropped uint64 // records dropped for lack of space
-	written uint64 // records committed
-	pending int    // records between cons and prod
+	dropped      uint64 // records dropped for lack of space
+	droppedBytes uint64 // bytes those dropped records would have cost
+	written      uint64 // records committed
+	pending      int    // records between cons and prod
 }
 
 // ringbufHdrSize is the per-record header: a little-endian uint64 payload
@@ -115,6 +116,7 @@ func (m *RingBuf) Output(rec []byte) bool {
 	need := ringbufRecordCost(len(rec))
 	if need > uint64(len(m.data))-(m.prod-m.cons) {
 		m.dropped++
+		m.droppedBytes += need
 		return false
 	}
 	var hdr [ringbufHdrSize]byte
@@ -145,6 +147,11 @@ func (m *RingBuf) Drain() [][]byte {
 
 // Dropped returns the count of records dropped due to a full buffer.
 func (m *RingBuf) Dropped() uint64 { return m.dropped }
+
+// DroppedBytes returns the total reservation cost (header plus padded
+// payload) of every dropped record — the bytes the ring would have
+// needed to avoid the drops.
+func (m *RingBuf) DroppedBytes() uint64 { return m.droppedBytes }
 
 // Written returns the count of records successfully committed.
 func (m *RingBuf) Written() uint64 { return m.written }

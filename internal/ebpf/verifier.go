@@ -97,25 +97,29 @@ type verifier struct {
 }
 
 // verify runs structural checks, the loop check, and abstract
-// interpretation over every path. It returns nil when the program is safe.
-func verify(insns []Instruction, maps map[int32]Map, ctxSize int) error {
+// interpretation over every path. It returns the number of abstract
+// states explored (the verifier's dynamic cost, exposed through
+// Program.VerifierStates for telemetry) and nil exactly when the
+// program is safe.
+func verify(insns []Instruction, maps map[int32]Map, ctxSize int) (int, error) {
 	if len(insns) == 0 {
-		return &VerifierError{PC: 0, Reason: "empty program"}
+		return 0, &VerifierError{PC: 0, Reason: "empty program"}
 	}
 	if len(insns) > MaxInstructions {
-		return &VerifierError{PC: 0, Reason: fmt.Sprintf("program too long: %d > %d instructions", len(insns), MaxInstructions)}
+		return 0, &VerifierError{PC: 0, Reason: fmt.Sprintf("program too long: %d > %d instructions", len(insns), MaxInstructions)}
 	}
 	v := &verifier{insns: insns, maps: maps, ctxSize: ctxSize}
 	if err := v.structural(); err != nil {
-		return err
+		return v.visited, err
 	}
 	if err := v.rejectBackEdges(); err != nil {
-		return err
+		return v.visited, err
 	}
 	init := &absState{spills: make(map[int64]absReg)}
 	init.regs[R1] = absReg{t: tCtx}
 	init.regs[R10] = absReg{t: tStack, off: StackSize}
-	return v.explore(0, init)
+	err := v.explore(0, init)
+	return v.visited, err
 }
 
 // wideSecond reports whether pc is the second slot of an LdImmDW pair.

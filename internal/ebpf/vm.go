@@ -19,10 +19,13 @@ type HelperEnv interface {
 }
 
 // RunStats reports the dynamic cost of one program execution, used by the
-// kernel to charge probe overhead to the traced thread.
+// kernel to charge probe overhead to the traced thread. MapOps is
+// telemetry-only: the cost model charges instructions and helper calls,
+// and map operations are a subset of the latter.
 type RunStats struct {
 	Instructions int // instruction slots executed
 	HelperCalls  int // helper invocations
+	MapOps       int // map-touching helper calls (lookup/update/delete/ringbuf)
 }
 
 type regionKind uint8
@@ -562,6 +565,12 @@ func (m *vm) call(pc int, id int32) error {
 		for reg := R1; reg <= R5; reg++ {
 			m.regs[reg] = scalarWord(0)
 		}
+	}
+
+	switch id {
+	case HelperMapLookupElem, HelperMapUpdateElem, HelperMapDeleteElem,
+		HelperRingbufOutput, HelperRingbufQuery:
+		m.stats.MapOps++
 	}
 
 	switch id {

@@ -120,12 +120,23 @@ func RunPoints[T any](opt ExpOptions, labels []string, fn func(i int) T) ([]T, R
 		return out, stats
 	}
 
+	// Engine-level instruments (no-ops on a nil registry): points in
+	// flight, per-point wall-clock, and a completion counter. They track
+	// real time and real scheduling, never simulated results.
+	inflight := opt.Telemetry.Gauge("harness_points_in_flight")
+	wallHist := opt.Telemetry.Histogram("harness_point_wall_ns")
+	pointsDone := opt.Telemetry.Counter("harness_points_total")
+
 	start := time.Now()
 	var mu sync.Mutex // serializes Progress callbacks
 	runOne := func(i, worker int) {
+		inflight.Add(1)
 		t0 := time.Now()
 		out[i] = fn(i)
 		wall := time.Since(t0)
+		inflight.Add(-1)
+		wallHist.Observe(wall.Nanoseconds())
+		pointsDone.Inc()
 		stats.PointWall[i] = wall
 		if opt.Progress != nil {
 			mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"reqlens/internal/netsim"
 	"reqlens/internal/probes"
 	"reqlens/internal/stats"
+	"reqlens/internal/telemetry"
 	"reqlens/internal/trace"
 	"reqlens/internal/workloads"
 )
@@ -102,6 +103,21 @@ type ExpOptions struct {
 	// Stats, when non-nil, receives aggregate wall-clock accounting
 	// after each point batch an experiment driver issues.
 	Stats func(RunStats)
+
+	// Telemetry, when non-nil, collects the run's metrics: each point
+	// builds its rig against a private registry and merges it in as the
+	// point completes (commutative addition, so totals are independent
+	// of completion order and Parallelism), and the engine adds its own
+	// wall-clock instruments (harness_*). Telemetry is write-only and
+	// cannot affect results; nil — the default — keeps every hot path on
+	// the one-nil-check disabled route.
+	Telemetry *telemetry.Registry
+
+	// Journal, when non-nil, receives one span per experiment, point
+	// and estimation window, timestamped with real wall-clock time.
+	// Journals are observational (timings vary run to run); the results
+	// they describe stay deterministic.
+	Journal *telemetry.Journal
 }
 
 // withDefaults fills zero-valued scale fields; see the field docs for
@@ -188,10 +204,14 @@ type Fig2Result struct {
 func fig2Level(spec workloads.Spec, opt ExpOptions, li int) []Estimate {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
+	label := fmt.Sprintf("%s level=%.2f", spec.Name, level)
+	pt := opt.pointBegin(label)
+	defer pt.done()
 	rig := NewRig(spec, RigOptions{
 		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: planNetem(opt),
 		Rate: rate, Probes: true,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		Telemetry: pt.reg,
 	})
 	defer rig.Close()
 	rig.Warmup(opt.Warmup)
@@ -206,8 +226,10 @@ func fig2Level(spec workloads.Spec, opt ExpOptions, li int) []Estimate {
 	rig.Client.StartMeasurement()
 	obsvs := make([]float64, 0, opt.Estimates)
 	for e := 0; e < opt.Estimates; e++ {
+		wsp := pt.window(fmt.Sprintf("%s window=%d", label, e))
 		rig.Env.RunFor(win)
 		w := rig.Obs.Sample()
+		wsp.End(nil)
 		obsvs = append(obsvs, w.RPSObsv())
 	}
 	real := rig.Client.Snapshot().RealRPS
@@ -242,9 +264,12 @@ func fig2Assemble(workload string, perLevel [][]Estimate) Fig2Result {
 // linear regression. Load levels run on the parallel engine.
 func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
 	opt = opt.withDefaults()
+	sp := opt.expBegin("fig2 " + spec.Name)
 	perLevel, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
 		func(li int) []Estimate { return fig2Level(spec, opt, li) })
-	return fig2Assemble(spec.Name, perLevel)
+	res := fig2Assemble(spec.Name, perLevel)
+	opt.expEnd(sp)
+	return res
 }
 
 // SweepPoint is one load level of a saturation sweep (Figs. 3-5 share it).
@@ -280,11 +305,14 @@ type SweepResult struct {
 func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
+	pt := opt.pointBegin(fmt.Sprintf("%s level=%.2f", spec.Name, level))
+	defer pt.done()
 	rig := NewRig(spec, RigOptions{
 		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: planNetem(opt),
 		Rate: rate, Probes: true,
 		Stream: opt.Stream, StreamBytes: opt.StreamBytes,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		Telemetry: pt.reg,
 	})
 	warm := opt.Warmup
 	if level >= 0.95 {
@@ -335,9 +363,12 @@ func assembleSweep(spec workloads.Spec, points []SweepPoint) SweepResult {
 // parallel engine; the result is identical at any Parallelism.
 func SaturationSweep(spec workloads.Spec, opt ExpOptions) SweepResult {
 	opt = opt.withDefaults()
+	sp := opt.expBegin("sweep " + spec.Name)
 	points, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
 		func(li int) SweepPoint { return sweepLevel(spec, opt, li) })
-	return assembleSweep(spec, points)
+	res := assembleSweep(spec, points)
+	opt.expEnd(sp)
+	return res
 }
 
 // Fig5Result compares tail latency and the epoll-duration signal under
@@ -353,6 +384,8 @@ type Fig5Result struct {
 // levels.
 func Fig5(spec workloads.Spec, configs []netsim.Config, opt ExpOptions) Fig5Result {
 	opt = opt.withDefaults()
+	sp := opt.expBegin("fig5 " + spec.Name)
+	defer opt.expEnd(sp)
 	nl := len(opt.Levels)
 	labels := make([]string, 0, len(configs)*nl)
 	for ci := range configs {
@@ -383,6 +416,8 @@ type Table2Row struct {
 // The whole workload x config x level grid fans out as one engine batch.
 func Table2(specs []workloads.Spec, configs []netsim.Config, opt ExpOptions) []Table2Row {
 	opt = opt.withDefaults()
+	sp := opt.expBegin("table2")
+	defer opt.expEnd(sp)
 	nl := len(opt.Levels)
 	labels := make([]string, 0, len(specs)*len(configs)*nl)
 	for _, spec := range specs {
@@ -438,14 +473,23 @@ type overheadRun struct {
 // opt.Seed, as an A/B pair must).
 func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult {
 	opt = opt.withDefaults()
+	esp := opt.expBegin("overhead " + spec.Name)
+	defer opt.expEnd(esp)
 	rate := level * spec.FailureRPS
 	win := windowFor(4*opt.MinSends, rate)
 
 	run := func(probesOn bool) overheadRun {
+		arm := "off"
+		if probesOn {
+			arm = "on"
+		}
+		pt := opt.pointBegin(fmt.Sprintf("%s probes=%s", spec.Name, arm))
+		defer pt.done()
 		rig := NewRig(spec, RigOptions{
 			Seed: opt.Seed, Profile: opt.Profile, Netem: opt.Netem,
 			Rate: rate, Probes: probesOn,
 			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+			Telemetry: pt.reg,
 		})
 		rig.Warmup(opt.Warmup)
 		m := rig.Measure(win)
@@ -496,11 +540,16 @@ type IOUringResult struct {
 // IOUring runs the blind-spot demonstration at the given load fraction.
 func IOUring(level float64, opt ExpOptions) IOUringResult {
 	opt = opt.withDefaults()
+	esp := opt.expBegin("iouring")
+	defer opt.expEnd(esp)
 	spec := workloads.DataCachingIOUring()
 	rate := level * spec.FailureRPS
+	pt := opt.pointBegin(fmt.Sprintf("%s level=%.2f", spec.Name, level))
+	defer pt.done()
 	rig := NewRig(spec, RigOptions{
 		Seed: opt.Seed, Rate: rate, Probes: true,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		Telemetry: pt.reg,
 	})
 	uring := probes.MustNewDeltaProbe("uring", rig.Server.Process().TGID(),
 		[]int{kernelIoUringEnter})
@@ -533,9 +582,14 @@ type Fig1Result struct {
 // streaming eBPF probe and segments it into lifecycle phases.
 func Fig1(spec workloads.Spec, level float64, capture time.Duration, opt ExpOptions) Fig1Result {
 	opt = opt.withDefaults()
+	esp := opt.expBegin("fig1 " + spec.Name)
+	defer opt.expEnd(esp)
+	pt := opt.pointBegin(fmt.Sprintf("%s level=%.2f capture=%v", spec.Name, level, capture))
+	defer pt.done()
 	rig := NewRig(spec, RigOptions{
 		Seed: opt.Seed, Rate: level * spec.FailureRPS, Probes: false,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		Telemetry: pt.reg,
 	})
 	sp := probes.MustNewStreamProbe("raw", rig.Server.Process().TGID(), 64<<20)
 	if err := sp.Attach(rig.ServerK.Tracer()); err != nil {

@@ -10,6 +10,7 @@ import (
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
 	"reqlens/internal/sim"
+	"reqlens/internal/telemetry"
 	"reqlens/internal/workloads"
 )
 
@@ -43,6 +44,15 @@ type RigOptions struct {
 	// up to that many client requests (loadgen.Client.Arrivals), for
 	// determinism audits.
 	CaptureArrivals int
+
+	// Telemetry, when non-nil, instruments the rig's hot paths into the
+	// given registry: simulation events, the server kernel's scheduler
+	// and tracer, and any attached observers' ring accounting and
+	// verifier cost. Telemetry is write-only — nothing in the rig reads
+	// an instrument back — so an instrumented rig produces bit-identical
+	// results to an uninstrumented one. Nil (the default) leaves every
+	// hot-path counter a nil no-op: one nil check per event.
+	Telemetry *telemetry.Registry
 }
 
 // streamDrainEvery is how much simulated time Advance lets pass between
@@ -116,6 +126,19 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 	}
 	if opt.Stream {
 		r.Stream = core.MustAttachStream(r.ServerK, cfg, opt.StreamBytes)
+	}
+	if opt.Telemetry != nil {
+		// The server kernel carries the signals under study; a separate
+		// client kernel stays uninstrumented so its ideal-machine
+		// scheduling does not pollute the scheduler counters.
+		env.Instrument(opt.Telemetry)
+		r.ServerK.Instrument(opt.Telemetry)
+		if r.Obs != nil {
+			r.Obs.Instrument(opt.Telemetry)
+		}
+		if r.Stream != nil {
+			r.Stream.Instrument(opt.Telemetry)
+		}
 	}
 
 	conns := opt.Conns

@@ -38,6 +38,8 @@ type RobustnessRow struct {
 // windows exactly.
 func RobustnessMatrix(specs []workloads.Spec, plans []faults.Plan, opt ExpOptions) []RobustnessRow {
 	opt = opt.withDefaults()
+	sp := opt.expBegin("robustness")
+	defer opt.expEnd(sp)
 	all := append([]faults.Plan{{Name: "baseline"}}, plans...)
 	nl, np := len(opt.Levels), len(all)
 	labels := make([]string, 0, len(specs)*np*nl)

@@ -45,10 +45,13 @@ type StreamAgreementResult struct {
 func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, li int) AgreementPoint {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
+	pt := opt.pointBegin(fmt.Sprintf("%s level=%.2f", spec.Name, level))
+	defer pt.done()
 	rig := NewRig(spec, RigOptions{
 		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
 		Rate: rate, Probes: true, Stream: true, StreamBytes: opt.StreamBytes,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
+		Telemetry: pt.reg,
 	})
 	warm := opt.Warmup
 	if level >= 0.95 {
@@ -71,6 +74,8 @@ func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, li int) Agreement
 // Parallelism.
 func StreamAgreement(spec workloads.Spec, opt ExpOptions) StreamAgreementResult {
 	opt = opt.withDefaults()
+	sp := opt.expBegin("stream-agreement " + spec.Name)
+	defer opt.expEnd(sp)
 	points, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
 		func(li int) AgreementPoint { return streamAgreementLevel(spec, opt, li) })
 	res := StreamAgreementResult{Workload: spec.Name, RingBytes: opt.StreamBytes, Points: points}

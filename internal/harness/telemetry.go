@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"reqlens/internal/telemetry"
+)
+
+// This file wires the telemetry registry and run journal into the
+// experiment drivers. The contract mirrors the engine's determinism
+// story: telemetry is write-only (no driver reads an instrument back),
+// per-point registries merge into the run-level registry by commutative
+// addition, and journal records carry wall-clock timestamps that never
+// feed back into simulated results. With ExpOptions.Telemetry and
+// Journal both nil — the default — every operation below is a nil
+// receiver no-op and the drivers run byte-identically to an
+// uninstrumented build.
+
+// pointTelemetry is one experiment point's telemetry context: a fresh
+// per-rig registry (nil when the run is uninstrumented) and an open
+// point span (nil when unjournaled). The zero value is inert.
+type pointTelemetry struct {
+	opt ExpOptions
+	reg *telemetry.Registry
+	sp  *telemetry.Span
+}
+
+// pointBegin opens a point's telemetry: a private registry for the
+// point's rig when opt.Telemetry is set, and a journal span named after
+// the point label. Callers pass pt.reg to RigOptions.Telemetry and must
+// call pt.done() when the point completes.
+func (o ExpOptions) pointBegin(label string) pointTelemetry {
+	pt := pointTelemetry{opt: o}
+	if o.Telemetry != nil {
+		pt.reg = telemetry.New()
+	}
+	pt.sp = o.Journal.Begin(telemetry.KindPoint, label)
+	return pt
+}
+
+// window opens a nested estimation-window span under the point.
+func (pt pointTelemetry) window(label string) *telemetry.Span {
+	return pt.opt.Journal.Begin(telemetry.KindWindow, label)
+}
+
+// done folds the point's registry into the run-level registry —
+// commutative addition, so run totals are independent of the order in
+// which parallel points complete — and ends the point span with the
+// point's own metric snapshot.
+func (pt pointTelemetry) done() {
+	pt.opt.Telemetry.Merge(pt.reg)
+	pt.sp.End(pt.reg.Snapshot())
+}
+
+// expBegin opens the experiment-level span. Pair with expEnd.
+func (o ExpOptions) expBegin(name string) *telemetry.Span {
+	return o.Journal.Begin(telemetry.KindExperiment, name)
+}
+
+// expEnd closes the experiment span, attaching the run registry's
+// cumulative snapshot (every point merged so far).
+func (o ExpOptions) expEnd(sp *telemetry.Span) {
+	sp.End(o.Telemetry.Snapshot())
+}

@@ -7,6 +7,7 @@ import (
 
 	"reqlens/internal/machine"
 	"reqlens/internal/sim"
+	"reqlens/internal/telemetry"
 )
 
 // Kernel is one simulated machine: CPUs, a scheduler, a process table
@@ -31,6 +32,27 @@ func New(env *sim.Env, prof machine.Profile) *Kernel {
 
 // Env returns the simulation environment.
 func (k *Kernel) Env() *sim.Env { return k.env }
+
+// Instrument wires the kernel's hot-path telemetry into r: scheduler
+// activity (sched_dispatches_total, sched_preemptions_total,
+// sched_ctx_switches_total), tracepoint dispatch
+// (trace_tracepoint_fires_total), and per-run eBPF execution totals
+// (vm_runs_total, vm_run_errors_total, vm_instructions_total,
+// vm_helper_calls_total, vm_map_ops_total). A nil registry leaves the
+// kernel uninstrumented; the disabled path costs one nil check per
+// update. Telemetry is write-only, so instrumenting a kernel cannot
+// change scheduling, probe cost accounting, or results.
+func (k *Kernel) Instrument(r *telemetry.Registry) {
+	k.sched.telDispatches = r.Counter("sched_dispatches_total")
+	k.sched.telPreemptions = r.Counter("sched_preemptions_total")
+	k.sched.telCtxSwitches = r.Counter("sched_ctx_switches_total")
+	k.tracer.telFires = r.Counter("trace_tracepoint_fires_total")
+	k.tracer.telRuns = r.Counter("vm_runs_total")
+	k.tracer.telRunErrs = r.Counter("vm_run_errors_total")
+	k.tracer.telInsns = r.Counter("vm_instructions_total")
+	k.tracer.telHelpers = r.Counter("vm_helper_calls_total")
+	k.tracer.telMapOps = r.Counter("vm_map_ops_total")
+}
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.env.Now() }

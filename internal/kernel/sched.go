@@ -1,6 +1,10 @@
 package kernel
 
-import "time"
+import (
+	"time"
+
+	"reqlens/internal/telemetry"
+)
 
 // cpu is one logical processor.
 type cpu struct {
@@ -25,6 +29,13 @@ type scheduler struct {
 	dispatches  uint64
 	preemptions uint64
 	ctxSwitches uint64
+
+	// Telemetry mirrors of the counters above; nil (no-ops) until the
+	// owning kernel is instrumented. Write-only: the scheduler never
+	// reads them back, so instrumentation cannot change scheduling.
+	telDispatches  *telemetry.Counter
+	telPreemptions *telemetry.Counter
+	telCtxSwitches *telemetry.Counter
 }
 
 func newScheduler(k *Kernel, ncpu int, slice, switchCost time.Duration) *scheduler {
@@ -75,6 +86,7 @@ func (s *scheduler) acquire(t *Thread) {
 func (s *scheduler) assign(t *Thread, c *cpu) {
 	t.cpu = c
 	s.dispatches++
+	s.telDispatches.Inc()
 	if c.last != t {
 		s.chargeSwitch(t)
 	}
@@ -82,6 +94,7 @@ func (s *scheduler) assign(t *Thread, c *cpu) {
 
 func (s *scheduler) chargeSwitch(t *Thread) {
 	s.ctxSwitches++
+	s.telCtxSwitches.Inc()
 	if s.switchCost > 0 {
 		t.sp.Sleep(s.switchCost)
 	}
@@ -103,6 +116,7 @@ func (s *scheduler) release(t *Thread) {
 		s.runq = s.runq[1:]
 		next.cpu = c
 		s.dispatches++
+		s.telDispatches.Inc()
 		next.waker.Wake()
 		return
 	}
@@ -144,6 +158,7 @@ func (s *scheduler) onlineAllCPUs() {
 			next.cpu = c
 			c.busy = true
 			s.dispatches++
+			s.telDispatches.Inc()
 			next.waker.Wake()
 		}
 	}
@@ -199,6 +214,7 @@ func (s *scheduler) compute(t *Thread, d time.Duration) {
 			if len(s.runq) > 0 {
 				// Quantum expired with waiters: yield the CPU and requeue.
 				s.preemptions++
+				s.telPreemptions.Inc()
 				s.release(t)
 			} else {
 				t.quantum = s.timeslice

@@ -7,6 +7,7 @@ import (
 
 	"reqlens/internal/ebpf"
 	"reqlens/internal/sim"
+	"reqlens/internal/telemetry"
 )
 
 // Tracepoint identifies an attachment point.
@@ -120,6 +121,16 @@ type Tracer struct {
 	lastErr  error
 	enterCtx [SysEnterCtxSize]byte
 	exitCtx  [SysExitCtxSize]byte
+
+	// Telemetry counters; nil (no-ops) until the owning kernel is
+	// instrumented. Write-only, so they cannot perturb dispatch or cost
+	// accounting.
+	telFires   *telemetry.Counter
+	telRuns    *telemetry.Counter
+	telRunErrs *telemetry.Counter
+	telInsns   *telemetry.Counter
+	telHelpers *telemetry.Counter
+	telMapOps  *telemetry.Counter
 }
 
 func newTracer(k *Kernel) *Tracer {
@@ -204,6 +215,7 @@ func (tr *Tracer) sysEnter(t *Thread, nr int, args [6]uint64) {
 	if len(links) == 0 {
 		return
 	}
+	tr.telFires.Inc()
 	ctx := tr.enterCtx[:]
 	for i := range ctx {
 		ctx[i] = 0
@@ -223,6 +235,7 @@ func (tr *Tracer) sysExit(t *Thread, nr int, ret int64) {
 	if len(links) == 0 {
 		return
 	}
+	tr.telFires.Inc()
 	ctx := tr.exitCtx[:]
 	for i := range ctx {
 		ctx[i] = 0
@@ -239,12 +252,17 @@ func (tr *Tracer) dispatch(t *Thread, links []*Link, ctx []byte) {
 	var cost time.Duration
 	for _, l := range links {
 		tr.runs++
+		tr.telRuns.Inc()
 		_, st, err := l.prog.Run(ctx, tr)
 		if err != nil {
 			tr.runErrs++
+			tr.telRunErrs.Inc()
 			tr.lastErr = err
 			continue
 		}
+		tr.telInsns.Add(uint64(st.Instructions))
+		tr.telHelpers.Add(uint64(st.HelperCalls))
+		tr.telMapOps.Add(uint64(st.MapOps))
 		cost += hookBaseCost +
 			time.Duration(st.Instructions)*perInsnCost +
 			time.Duration(st.HelperCalls)*perHelperCost

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"reqlens/internal/telemetry"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -51,6 +53,12 @@ type Env struct {
 	procs    map[*Proc]struct{}
 	stopping bool
 	executed uint64
+
+	// telEvents mirrors executed into a telemetry counter when the
+	// environment is instrumented; nil (a no-op) otherwise. Telemetry is
+	// write-only from the simulation's point of view, so instrumenting an
+	// environment cannot change its event order or results.
+	telEvents *telemetry.Counter
 }
 
 // NewEnv returns an environment with the virtual clock at zero. The seed
@@ -65,6 +73,14 @@ func NewEnv(seed int64) *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Instrument wires the environment's hot-path counters into r
+// (sim_events_total: events popped off the heap). A nil registry leaves
+// the environment uninstrumented — the disabled path costs one nil check
+// per event.
+func (e *Env) Instrument(r *telemetry.Registry) {
+	e.telEvents = r.Counter("sim_events_total")
+}
 
 // Executed returns the number of events processed so far.
 func (e *Env) Executed() uint64 { return e.executed }
@@ -107,6 +123,7 @@ func (e *Env) Step() bool {
 		}
 		e.now = ev.at
 		e.executed++
+		e.telEvents.Inc()
 		ev.fn()
 		return true
 	}

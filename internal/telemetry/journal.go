@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span kinds emitted by the harness. The hierarchy is
+// experiment -> point (one workload x level on a private rig) -> window
+// (one estimation window inside a point).
+const (
+	KindExperiment = "experiment"
+	KindPoint      = "point"
+	KindWindow     = "window"
+)
+
+// Record is one completed span in the run journal: a JSONL line carrying
+// monotonic wall-clock timing and, for point spans, a snapshot of the
+// rig's metric registry. Journals describe the *execution* of a run
+// (real time, real scheduling) and are therefore not deterministic;
+// experiment results never read them.
+type Record struct {
+	Kind    string             `json:"kind"`
+	Name    string             `json:"name"`
+	StartNS int64              `json:"start_ns"` // monotonic ns since journal creation
+	DurNS   int64              `json:"dur_ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Start returns the span start as a duration since journal creation.
+func (r Record) Start() time.Duration { return time.Duration(r.StartNS) }
+
+// Dur returns the span duration.
+func (r Record) Dur() time.Duration { return time.Duration(r.DurNS) }
+
+// Journal serializes span records to an io.Writer as JSONL. It is safe
+// for concurrent use (the parallel engine completes points on several
+// goroutines); records are written whole, one per line, in completion
+// order. A nil *Journal discards everything, which is how telemetry
+// stays out of undashboarded runs.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	epoch time.Time
+}
+
+// NewJournal returns a journal writing to w. Timestamps are monotonic
+// durations since this call.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, epoch: time.Now()}
+}
+
+// Span is an open interval started by Begin. End emits the record. A nil
+// *Span (from a nil journal) is inert.
+type Span struct {
+	j     *Journal
+	kind  string
+	name  string
+	start time.Duration
+}
+
+// Begin opens a span of the given kind. Returns nil (inert) on a nil
+// journal.
+func (j *Journal) Begin(kind, name string) *Span {
+	if j == nil {
+		return nil
+	}
+	return &Span{j: j, kind: kind, name: name, start: time.Since(j.epoch)}
+}
+
+// End closes the span and writes its record, attaching the given metric
+// snapshot (may be nil). No-op on a nil span.
+func (s *Span) End(metrics map[string]float64) {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.j.epoch)
+	s.j.emit(Record{
+		Kind:    s.kind,
+		Name:    s.name,
+		StartNS: int64(s.start),
+		DurNS:   int64(now - s.start),
+		Metrics: metrics,
+	})
+}
+
+func (j *Journal) emit(rec Record) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // a map[string]float64 cannot fail to marshal; defensive
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.w.Write(line)
+	j.w.Write([]byte{'\n'})
+}
+
+// ReadJournal parses a JSONL journal back into records, in file order.
+// Blank lines are skipped; a malformed line is an error.
+func ReadJournal(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: journal line %d: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// journalDropKeys are the metric names whose sum across point spans is
+// reported as "drops" in the phase table.
+var journalDropKeys = []string{"ringbuf_records_dropped_total", "stream_dropped_total"}
+
+// RenderJournal formats a journal as (1) a per-phase summary — span
+// count, total/mean/max wall-clock, simulated events folded, ring drops
+// — and (2) the top-N slowest point spans with their headline metrics.
+func RenderJournal(recs []Record, topN int) string {
+	if topN <= 0 {
+		topN = 10
+	}
+	var b strings.Builder
+	if len(recs) == 0 {
+		return "journal: empty\n"
+	}
+
+	// Phase table, in hierarchy order then any unknown kinds.
+	order := []string{KindExperiment, KindPoint, KindWindow}
+	byKind := map[string][]Record{}
+	for _, r := range recs {
+		byKind[r.Kind] = append(byKind[r.Kind], r)
+	}
+	var kinds []string
+	for _, k := range order {
+		if len(byKind[k]) > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	var extra []string
+	for k := range byKind {
+		known := false
+		for _, o := range order {
+			if k == o {
+				known = true
+			}
+		}
+		if !known {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	kinds = append(kinds, extra...)
+
+	fmt.Fprintf(&b, "%-10s | %5s | %10s | %10s | %10s | %12s | %8s\n",
+		"phase", "spans", "total", "mean", "max", "sim events", "drops")
+	for _, k := range kinds {
+		rs := byKind[k]
+		var total, max time.Duration
+		var events, drops float64
+		for _, r := range rs {
+			d := r.Dur()
+			total += d
+			if d > max {
+				max = d
+			}
+			events += r.Metrics["sim_events_total"]
+			for _, key := range journalDropKeys {
+				drops += r.Metrics[key]
+			}
+		}
+		mean := total / time.Duration(len(rs))
+		fmt.Fprintf(&b, "%-10s | %5d | %10v | %10v | %10v | %12.0f | %8.0f\n",
+			k, len(rs), total.Round(time.Microsecond), mean.Round(time.Microsecond),
+			max.Round(time.Microsecond), events, drops)
+	}
+
+	// Throughput: simulated events per wall-clock second over point spans
+	// (each point runs on a private rig, so sums are meaningful).
+	points := byKind[KindPoint]
+	if len(points) > 0 {
+		var wall time.Duration
+		var events float64
+		for _, r := range points {
+			wall += r.Dur()
+			events += r.Metrics["sim_events_total"]
+		}
+		if wall > 0 && events > 0 {
+			fmt.Fprintf(&b, "point throughput: %.0f sim events/s of wall-clock\n", events/wall.Seconds())
+		}
+
+		sorted := append([]Record(nil), points...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].DurNS != sorted[j].DurNS {
+				return sorted[i].DurNS > sorted[j].DurNS
+			}
+			return sorted[i].Name < sorted[j].Name
+		})
+		if len(sorted) > topN {
+			sorted = sorted[:topN]
+		}
+		fmt.Fprintf(&b, "\nslowest points (top %d):\n", len(sorted))
+		fmt.Fprintf(&b, "%-36s | %10s | %12s | %10s | %8s\n",
+			"point", "wall", "sim events", "vm insns", "drops")
+		for _, r := range sorted {
+			var drops float64
+			for _, key := range journalDropKeys {
+				drops += r.Metrics[key]
+			}
+			fmt.Fprintf(&b, "%-36s | %10v | %12.0f | %10.0f | %8.0f\n",
+				r.Name, r.Dur().Round(time.Microsecond),
+				r.Metrics["sim_events_total"], r.Metrics["vm_instructions_total"], drops)
+		}
+	}
+	return b.String()
+}

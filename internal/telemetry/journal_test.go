@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalNilSafety(t *testing.T) {
+	var j *Journal
+	sp := j.Begin(KindPoint, "x")
+	if sp != nil {
+		t.Fatal("nil journal must return nil span")
+	}
+	sp.End(map[string]float64{"a": 1}) // must not panic
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+
+	exp := j.Begin(KindExperiment, "fig2 silo")
+	pt := j.Begin(KindPoint, "silo level=0.50")
+	win := j.Begin(KindWindow, "silo level=0.50 win=0")
+	win.End(nil)
+	pt.End(map[string]float64{"sim_events_total": 42, "ringbuf_records_dropped_total": 3})
+	exp.End(nil)
+
+	recs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	// Completion order: window, point, experiment.
+	if recs[0].Kind != KindWindow || recs[1].Kind != KindPoint || recs[2].Kind != KindExperiment {
+		t.Fatalf("kinds = %s,%s,%s", recs[0].Kind, recs[1].Kind, recs[2].Kind)
+	}
+	if recs[1].Metrics["sim_events_total"] != 42 {
+		t.Fatalf("point metrics lost: %v", recs[1].Metrics)
+	}
+	if recs[1].Name != "silo level=0.50" {
+		t.Fatalf("name = %q", recs[1].Name)
+	}
+	for _, r := range recs {
+		if r.StartNS < 0 || r.DurNS < 0 {
+			t.Fatalf("negative timing in %+v", r)
+		}
+	}
+	// Span nesting: the experiment span must contain the point span.
+	if recs[2].StartNS > recs[1].StartNS {
+		t.Fatal("experiment started after its point")
+	}
+}
+
+func TestJournalConcurrentEmits(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Begin(KindPoint, "p").End(map[string]float64{"w": float64(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the journal: %v", err)
+	}
+	if len(recs) != 400 {
+		t.Fatalf("records = %d, want 400", len(recs))
+	}
+}
+
+func TestReadJournalErrors(t *testing.T) {
+	if _, err := ReadJournal(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("want error on malformed line")
+	}
+	recs, err := ReadJournal(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("blank journal: %v, %v", recs, err)
+	}
+}
+
+func TestRenderJournal(t *testing.T) {
+	if out := RenderJournal(nil, 0); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	exp := j.Begin(KindExperiment, "fig2 silo")
+	for i := 0; i < 3; i++ {
+		pt := j.Begin(KindPoint, "silo level="+string(rune('1'+i)))
+		j.Begin(KindWindow, "w").End(nil)
+		pt.End(map[string]float64{
+			"sim_events_total":              1000,
+			"vm_instructions_total":         500,
+			"ringbuf_records_dropped_total": float64(i),
+		})
+	}
+	exp.End(nil)
+	recs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderJournal(recs, 2)
+	for _, want := range []string{"phase", "experiment", "point", "window", "slowest points (top 2)", "sim events"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Drops column: 0+1+2 = 3 across the point phase.
+	if !strings.Contains(out, "3") {
+		t.Fatalf("render missing drop sum:\n%s", out)
+	}
+}

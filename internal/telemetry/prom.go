@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-labelled buckets plus _sum and _count.
+// Output is sorted by instrument name, so two registries with equal
+// contents serialize byte-identically. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	counters, gauges, hists := r.names()
+	for _, name := range counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
+	}
+	for _, name := range gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+	}
+	for _, name := range hists {
+		h := r.histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i := range h.buckets {
+			c := h.buckets[i].Load()
+			if c == 0 {
+				continue
+			}
+			cum += c
+			if i+1 >= len(h.buckets) {
+				continue // top bucket has no finite bound; +Inf covers it
+			}
+			// The bucket's upper bound is the next bucket's lower bound.
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, histLow(i+1), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum())
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count())
+	}
+	return bw.Flush()
+}
+
+// ParseProm reads Prometheus text format back into a flat
+// name -> value map (labels, if any, stay part of the key). It accepts
+// exactly what WriteProm emits plus blank lines, and is what the
+// round-trip tests and the journal tooling use — not a general
+// Prometheus parser.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// name{labels} value | name value — the value is the last
+		// space-separated field.
+		i := strings.LastIndexByte(text, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("telemetry: prom line %d: no value in %q", line, text)
+		}
+		name := strings.TrimSpace(text[:i])
+		v, err := strconv.ParseFloat(text[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: prom line %d: bad value %q: %v", line, text[i+1:], err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

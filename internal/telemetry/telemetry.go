@@ -1,0 +1,397 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics registry: named, typed instruments with a
+// lock-free hot path. Two properties are load-bearing for the rest of
+// the repo:
+//
+//   - Nil safety. Every instrument method and every Registry method is a
+//     no-op (or zero) on a nil receiver. Instrumented code therefore
+//     holds plain instrument pointers that stay nil when telemetry is
+//     disabled, and the disabled hot path costs one predictable nil
+//     check — no branches on a config struct, no interface calls, no
+//     allocation. The golden-window tests pin that this path cannot
+//     perturb results.
+//
+//   - Commutative merges. Counters and histograms fold by addition and
+//     gauges by summation, so per-rig registries merged into a run-level
+//     registry produce totals independent of completion order — the
+//     parallel engine can merge points as they finish and still report
+//     deterministic counts for a fixed seed.
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+// A nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value, safe for concurrent use. A nil
+// *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the value by d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket geometry: 64 base-2 exponents x histSub linear
+// sub-buckets, the same log-linear scheme as stats.Histogram but with
+// atomic buckets and a coarser sub-bucket count (worst-case relative
+// quantile error 1/histSub = 12.5%), keeping one histogram at ~4 KiB.
+const (
+	histExps = 64
+	histSub  = 8
+	histSubL = 3 // log2(histSub)
+)
+
+// Histogram is a log-linear histogram of non-negative int64 observations
+// (typically nanoseconds), safe for concurrent use. A nil *Histogram
+// discards all updates.
+type Histogram struct {
+	buckets [histExps * histSub]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func histIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := 63 - leadingZeros64(uint64(v))
+	shift := exp - histSubL
+	sub := int((uint64(v) >> uint(shift)) & (histSub - 1))
+	return exp*histSub + sub
+}
+
+// histLow returns the lower bound of bucket i.
+func histLow(i int) int64 {
+	exp, sub := i/histSub, i%histSub
+	if exp == 0 {
+		return int64(sub)
+	}
+	shift := exp - histSubL
+	if shift < 0 {
+		shift = 0
+	}
+	return (int64(1) << uint(exp)) | (int64(sub) << uint(shift))
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+		if n == 64 {
+			break
+		}
+	}
+	return n
+}
+
+// Observe records one value. Negative values count as zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation (0 on nil or empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an approximation of the q-th quantile (lower bucket
+// bound, clamped to Max).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q*float64(total) + 0.5)
+	if target == 0 {
+		target = 1
+	}
+	if target >= total {
+		return h.max.Load() // the top quantile is tracked exactly
+	}
+	var seen uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= target {
+			v := histLow(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// merge folds o into h (bucket-wise addition; commutative).
+func (h *Histogram) merge(o *Histogram) {
+	for i := range h.buckets {
+		if c := o.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		om, cur := o.max.Load(), h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Registry is a named set of instruments. Registration (the Counter,
+// Gauge and Histogram lookups) takes a mutex; instrument updates are
+// lock-free. A nil *Registry returns nil instruments from every lookup,
+// so a single nil check at wiring time disables a whole subsystem's
+// telemetry at zero ongoing cost.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Merge folds every instrument of o into r: counters and histograms add,
+// gauges sum. Merging is commutative, so folding per-rig registries into
+// a run-level registry yields completion-order-independent totals. Nil
+// receiver or nil argument is a no-op.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	// Snapshot o's instrument tables under its lock, then fold without
+	// holding both locks at once.
+	o.mu.Lock()
+	counters := make(map[string]*Counter, len(o.counters))
+	for k, v := range o.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(o.gauges))
+	for k, v := range o.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(o.histograms))
+	for k, v := range o.histograms {
+		hists[k] = v
+	}
+	o.mu.Unlock()
+
+	for name, c := range counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range gauges {
+		r.Gauge(name).Add(g.Value())
+	}
+	for name, h := range hists {
+		r.Histogram(name).merge(h)
+	}
+}
+
+// Snapshot flattens the registry into a name -> value map: counters and
+// gauges directly, histograms expanded into _count, _sum and _max
+// entries. Returns nil on a nil or empty registry — convenient for
+// attaching to journal spans.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters)+len(r.gauges)+len(r.histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+3*len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, h := range r.histograms {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = float64(h.Sum())
+		out[name+"_max"] = float64(h.Max())
+	}
+	return out
+}
+
+// names returns the sorted instrument names of each kind (for
+// deterministic export ordering).
+func (r *Registry) names() (counters, gauges, hists []string) {
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range r.histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}

@@ -13,6 +13,10 @@
 #   go test -cover (floors)               per-package coverage floors on
 #                                         the packages where a silent
 #                                         regression is most dangerous
+#   examples smoke                        build and run every examples/*
+#                                         binary with tiny parameters so
+#                                         the documented entry points
+#                                         cannot rot
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -61,5 +65,29 @@ cover_floor() {
 cover_floor ./internal/ebpf 70
 cover_floor ./internal/probes 70
 cover_floor ./internal/faults 70
+cover_floor ./internal/stats 70
+cover_floor ./internal/trace 70
+cover_floor ./internal/telemetry 70
+
+echo "== examples smoke"
+# Build every example binary, then run each with parameters small enough
+# to keep the leg under a couple of minutes. Output is discarded; a
+# non-zero exit fails the gate.
+exdir=$(mktemp -d)
+trap 'rm -rf "$exdir"' EXIT
+go build -o "$exdir" ./examples/...
+for ex in examples/*/; do
+    name=$(basename "$ex")
+    case "$name" in
+    parallel-sweep)      args="-parallel 2" ;;
+    netem-robustness)    args="-parallel 2" ;;
+    telemetry-dashboard) args="-interval 200ms" ;;
+    streaming-monitor)   args="-ring 65536" ;;
+    *)                   args="" ;;
+    esac
+    echo "-- $name $args"
+    # shellcheck disable=SC2086 # args is a deliberate word list
+    "$exdir/$name" $args >/dev/null
+done
 
 echo "check: ok"

@@ -14,6 +14,7 @@
 //	reqlens stream [flags]              # batch vs streaming observer agreement
 //	reqlens robustness [flags]          # R^2 deltas under kernel fault plans
 //	reqlens telemetry -journal F [-top N] # render a recorded run journal
+//	reqlens resume -journal F           # re-run a journaled sweep, skipping done points
 //	reqlens all   [flags]               # everything above except robustness
 //
 // -quick shrinks windows/levels for a fast smoke run; -workload selects
@@ -25,20 +26,37 @@
 // in sweep commands (fig3/fig4), and -streambytes sizes its ring (power
 // of two; 0 = the 4 MiB default — undersize it to study the drop path).
 //
+// Supervision flags (see internal/resilience) harden long sweeps:
+// -deadline D bounds each experiment point's wall clock — an overrunning
+// point is killed at the event loop's next budget check and recorded as
+// a gap instead of hanging the run; -retries N re-runs a panicked or
+// killed point up to N times with the same derived seed, so a
+// successful retry is bit-identical to first-try success; -chaos arms
+// the deterministic fault schedule (a panic every 5th point, a hang
+// every 7th) to exercise that machinery on demand. Any of these enables
+// supervised execution; with none set the engine runs undecorated.
+//
 // Every experiment subcommand also accepts the self-telemetry flags:
 // -metrics F writes the run's metric registry to F in Prometheus text
-// format on exit, and -journal F streams one JSONL span per experiment,
-// point and estimation window to F as the run progresses. Both are
-// write-only observers: enabling them cannot change any reported result
-// (the simulated clock never sees them). `reqlens telemetry -journal F`
-// renders a recorded journal as a per-phase summary plus the slowest
-// points.
+// format on exit (including the supervisor's panic/retry/gap counters
+// when supervision is on), and -journal F records a JSONL run journal:
+// one span per experiment, point and estimation window, plus a
+// checkpoint record per completed point, each flushed with an atomic
+// write-then-rename so the journal is consistent even if the process is
+// killed mid-run. `reqlens telemetry -journal F` renders a recorded
+// journal; `reqlens resume -journal F` re-runs the command recorded in
+// the journal's header, replaying completed points from their
+// checkpoints — the resumed run's output is byte-identical to an
+// uninterrupted one. Telemetry and journals are write-only observers:
+// enabling them cannot change any reported result (the simulated clock
+// never sees them).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"reqlens/internal/faults"
@@ -50,7 +68,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|telemetry|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|telemetry|resume|all> [flags]")
 	os.Exit(2)
 }
 
@@ -58,7 +76,51 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	cmd := os.Args[1]
+	if os.Args[1] == "resume" {
+		runResume(os.Args[2:])
+		return
+	}
+	run(os.Args[1], os.Args[2:], nil)
+}
+
+// runResume re-executes the command recorded in a journal's run header,
+// seeding the engine with the journal's completed-point checkpoints so
+// only the missing points are recomputed. Because checkpoints replay
+// byte-for-byte and retries reuse derived seeds, the resumed run's
+// output is identical to an uninterrupted run of the original command.
+func runResume(args []string) {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	journalPath := fs.String("journal", "", "journal file recorded by the interrupted run")
+	if err := fs.Parse(args); err != nil || *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: reqlens resume -journal <file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(*journalPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	hdr, ok := telemetry.LastRunHeader(recs)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "resume: %s has no run header (recorded with -journal?)\n", *journalPath)
+		os.Exit(1)
+	}
+	cps := telemetry.Checkpoints(recs)
+	fmt.Fprintf(os.Stderr, "resume: reqlens %s %s (%d checkpointed point(s))\n",
+		hdr.Name, strings.Join(hdr.Args, " "), len(cps))
+	run(hdr.Name, hdr.Args, cps)
+}
+
+// run executes one experiment subcommand. resume, when non-nil, maps
+// point labels to their checkpoint records from a prior journal; the
+// engine replays matching points instead of recomputing them.
+func run(cmd string, args []string, resume map[string]telemetry.Record) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	quick := fs.Bool("quick", false, "reduced scale for a fast smoke run")
 	name := fs.String("workload", "", "single workload name (default: all)")
@@ -69,9 +131,12 @@ func main() {
 	stream := fs.Bool("stream", false, "attach the streaming observer alongside the batch probes in sweeps")
 	streamBytes := fs.Int("streambytes", 0, "streaming ring size in bytes (power of two; 0 = 4 MiB default)")
 	metricsPath := fs.String("metrics", "", "write the run's metrics to this file in Prometheus text format on exit")
-	journalPath := fs.String("journal", "", "stream JSONL run-journal spans to this file (telemetry subcommand: read it)")
+	journalPath := fs.String("journal", "", "record a JSONL run journal with per-point checkpoints to this file (telemetry subcommand: read it)")
 	topN := fs.Int("top", 5, "telemetry subcommand: number of slowest points to list")
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	deadline := fs.Duration("deadline", 0, "per-point wall-clock budget; an overrunning point is killed and recorded as a gap (0 = none)")
+	retries := fs.Int("retries", 0, "re-run a failed point up to N times with the same derived seed")
+	chaos := fs.Bool("chaos", false, "inject a deterministic panic every 5th point and a hang every 7th (exercise supervision)")
+	if err := fs.Parse(args); err != nil {
 		usage()
 	}
 
@@ -91,23 +156,44 @@ func main() {
 	opt.Parallelism = *parallel
 	opt.Stream = *stream
 	opt.StreamBytes = *streamBytes
+	opt.Deadline = *deadline
+	opt.Retries = *retries
+	opt.Resume = resume
+	if *chaos {
+		opt = harness.ChaosOptions(opt)
+	}
 	if *metricsPath != "" {
 		opt.Telemetry = telemetry.New()
 		defer writeMetrics(opt.Telemetry, *metricsPath)
 	}
 	if *journalPath != "" {
-		jf, err := os.Create(*journalPath)
+		j, err := telemetry.OpenJournal(*journalPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "journal:", err)
 			os.Exit(1)
 		}
-		defer jf.Close()
-		opt.Journal = telemetry.NewJournal(jf)
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "journal:", err)
+			}
+		}()
+		// The header records the command so `reqlens resume` can replay
+		// it; a resumed run re-records the original command, not
+		// "resume", so resuming is idempotent.
+		j.RunHeader(cmd, args)
+		opt.Journal = j
 	}
 	if *progress {
 		opt.Progress = func(p harness.PointDone) {
-			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %8v (worker %d)\n",
-				p.Index+1, p.Total, p.Label, p.Wall.Round(time.Millisecond), p.Worker)
+			note := ""
+			if p.Cached {
+				note = " [resumed]"
+			}
+			if p.Gap {
+				note = " [gap]"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %8v (worker %d)%s\n",
+				p.Index+1, p.Total, p.Label, p.Wall.Round(time.Millisecond), p.Worker, note)
 		}
 		opt.Stats = func(s harness.RunStats) {
 			fmt.Fprintln(os.Stderr, "engine:", s)

@@ -48,7 +48,7 @@ func main() {
 	cfgs := []netsim.Config{{}, {Delay: 10 * time.Millisecond, Loss: 0.01}}
 	names := []string{"clean link", "10ms + 1% loss"}
 	opt := harness.ExpOptions{Parallelism: *parallel}
-	ms, stats := harness.RunPoints(opt, names, func(i int) harness.Measurement {
+	ms, stats := harness.RunPoints(opt, names, func(_ harness.PointCtx, i int) harness.Measurement {
 		return measure(cfgs[i])
 	})
 	for i, m := range ms {

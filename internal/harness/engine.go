@@ -1,10 +1,16 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
+
+	"reqlens/internal/resilience"
+	"reqlens/internal/sim"
+	"reqlens/internal/telemetry"
 )
 
 // This file is the parallel experiment engine. Every figure/table driver
@@ -26,6 +32,17 @@ import (
 // Only wall-clock accounting (RunStats, PointDone.Wall) reflects real
 // time and real scheduling; it never feeds back into results.
 
+// PointCtx is the execution context RunPoints hands each point
+// function. Clock is the attempt's budget clock under supervision (nil
+// otherwise); points that build rigs wire it into RigOptions.Clock so
+// the event loop honors the deadline. Attempt is 0 on the first try and
+// increments per retry — the point's *inputs* never depend on it, which
+// is what makes a retried success bit-identical to a first-try one.
+type PointCtx struct {
+	Clock   *sim.Clock
+	Attempt int
+}
+
 // PointDone reports the completion of one experiment point to an
 // ExpOptions.Progress callback. Under parallelism points complete in
 // nondeterministic order; Index identifies the point within its batch.
@@ -35,6 +52,8 @@ type PointDone struct {
 	Label  string        // human-readable point description, e.g. "silo level=0.50"
 	Wall   time.Duration // real wall-clock time the point took
 	Worker int           // worker slot that ran the point (0..Workers-1)
+	Cached bool          // satisfied from a resume checkpoint, not recomputed
+	Gap    bool          // failed after all supervision attempts; result is zero
 }
 
 // RunStats is the engine's aggregate wall-clock accounting for one
@@ -46,6 +65,26 @@ type RunStats struct {
 	Workers   int             // resolved worker count
 	Wall      time.Duration   // wall-clock of the whole batch
 	PointWall []time.Duration // per-point wall-clock, in point order
+
+	// Cached counts points satisfied from resume checkpoints.
+	Cached int
+	// Gaps lists the points that failed after every supervision attempt,
+	// sorted by point index. Their result slots hold the zero value;
+	// drivers propagate the holes so renderers can mark them instead of
+	// reporting poisoned aggregates.
+	Gaps []*resilience.PointError
+}
+
+// GapLabels returns the labels of the gapped points, in point order.
+func (s RunStats) GapLabels() []string {
+	if len(s.Gaps) == 0 {
+		return nil
+	}
+	ls := make([]string, len(s.Gaps))
+	for i, g := range s.Gaps {
+		ls[i] = g.Label
+	}
+	return ls
 }
 
 // TotalPointWall returns the summed per-point wall-clock. Note that
@@ -73,9 +112,16 @@ func (s RunStats) Concurrency() float64 {
 
 // String formats the stats as a one-line summary.
 func (s RunStats) String() string {
-	return fmt.Sprintf("%d points / %d workers in %v (point sum %v, concurrency %.2fx)",
+	base := fmt.Sprintf("%d points / %d workers in %v (point sum %v, concurrency %.2fx)",
 		s.Points, s.Workers, s.Wall.Round(time.Millisecond),
 		s.TotalPointWall().Round(time.Millisecond), s.Concurrency())
+	if s.Cached > 0 {
+		base += fmt.Sprintf(", %d resumed from checkpoints", s.Cached)
+	}
+	if len(s.Gaps) > 0 {
+		base += fmt.Sprintf(", %d gaps", len(s.Gaps))
+	}
+	return base
 }
 
 // workers resolves the effective worker count for a batch of n points:
@@ -94,18 +140,34 @@ func (o ExpOptions) workers(n int) int {
 	return w
 }
 
-// RunPoints runs fn(i) for every point i in [0, len(labels)) across a
+// RunPoints runs fn for every point i in [0, len(labels)) across a
 // bounded worker pool and returns the results in point order. fn must be
 // a pure function of its index (each call typically builds, drives, and
 // closes one Rig); it must not share mutable state across points. The
-// labels name the points for progress reporting.
+// labels name the points for progress reporting; under supervision and
+// resume they also key checkpoints, so they must be unique within the
+// batch.
 //
 // The worker count is opt.Parallelism, or GOMAXPROCS when zero; a count
 // of 1 degenerates to a plain sequential loop. Whatever the count,
 // results are identical — parallelism changes only wall-clock time.
 // opt.Progress (if set) is invoked exactly once per completed point,
 // serialized; opt.Stats (if set) receives the batch's aggregate timing.
-func RunPoints[T any](opt ExpOptions, labels []string, fn func(i int) T) ([]T, RunStats) {
+//
+// Supervision (opt.Supervised() true): each point runs under a
+// resilience.Supervisor — panics become RunStats.Gaps entries instead of
+// crashing the process, a Deadline hands the point a budget clock via
+// PointCtx, and failed attempts retry with the same derived inputs. A
+// point that fails every attempt leaves the zero T in its slot and is
+// reported in Gaps.
+//
+// Checkpointing (opt.Journal non-nil): every completed point is recorded
+// as a checkpoint carrying its JSON-serialized result. Resume
+// (opt.Resume non-nil): points whose label maps to an ok checkpoint with
+// a matching root seed are satisfied from the journal without
+// recomputation — and re-checkpointed, so a resumed run's journal is
+// itself resumable.
+func RunPoints[T any](opt ExpOptions, labels []string, fn func(pc PointCtx, i int) T) ([]T, RunStats) {
 	n := len(labels)
 	out := make([]T, n)
 	stats := RunStats{
@@ -120,32 +182,99 @@ func RunPoints[T any](opt ExpOptions, labels []string, fn func(i int) T) ([]T, R
 		return out, stats
 	}
 
+	var sup *resilience.Supervisor
+	if opt.Supervised() {
+		sup = resilience.New(resilience.Options{
+			Deadline: opt.Deadline, Retries: opt.Retries,
+			Chaos: opt.Chaos, Telemetry: opt.Telemetry,
+		})
+	}
+
 	// Engine-level instruments (no-ops on a nil registry): points in
 	// flight, per-point wall-clock, and a completion counter. They track
 	// real time and real scheduling, never simulated results.
 	inflight := opt.Telemetry.Gauge("harness_points_in_flight")
 	wallHist := opt.Telemetry.Histogram("harness_point_wall_ns")
 	pointsDone := opt.Telemetry.Counter("harness_points_total")
+	cachedPts := opt.Telemetry.Counter("harness_points_resumed_total")
+
+	seed := opt.withDefaults().Seed
+	checkpoint := func(i, attempts int, perr *resilience.PointError) {
+		if opt.Journal == nil {
+			return
+		}
+		rec := telemetry.Record{Name: labels[i], Index: i, Seed: seed, Attempts: attempts}
+		if perr != nil {
+			rec.Status = telemetry.CheckpointFailed
+			rec.Error = perr.Error()
+		} else {
+			rec.Status = telemetry.CheckpointOK
+			if data, err := json.Marshal(out[i]); err == nil {
+				rec.Result = data
+			}
+		}
+		opt.Journal.Checkpoint(rec)
+	}
 
 	start := time.Now()
-	var mu sync.Mutex // serializes Progress callbacks
+	var mu sync.Mutex // serializes Progress callbacks and shared stats
 	runOne := func(i, worker int) {
+		// Resume: an ok checkpoint with the right root seed replays the
+		// recorded result byte-for-byte (Go numbers round-trip JSON
+		// exactly). A checkpoint from another seed, a failed one, or one
+		// whose payload no longer parses falls through to recomputation.
+		if rec, ok := opt.Resume[labels[i]]; ok &&
+			rec.Seed == seed && rec.Status == telemetry.CheckpointOK && len(rec.Result) > 0 {
+			var v T
+			if err := json.Unmarshal(rec.Result, &v); err == nil {
+				out[i] = v
+				cachedPts.Inc()
+				checkpoint(i, rec.Attempts, nil) // keep the resumed journal complete
+				mu.Lock()
+				stats.Cached++
+				if opt.Progress != nil {
+					opt.Progress(PointDone{Index: i, Total: n, Label: labels[i],
+						Worker: worker, Cached: true})
+				}
+				mu.Unlock()
+				return
+			}
+		}
+
 		inflight.Add(1)
 		t0 := time.Now()
-		out[i] = fn(i)
+		var perr *resilience.PointError
+		attempts := 1
+		if sup != nil {
+			out[i], perr = resilience.Run(sup,
+				resilience.Point{Label: labels[i], Index: i, Seed: seed},
+				func(attempt int, clock *sim.Clock) T {
+					attempts = attempt + 1
+					return fn(PointCtx{Clock: clock, Attempt: attempt}, i)
+				})
+			if perr != nil {
+				attempts = perr.Attempts
+			}
+		} else {
+			out[i] = fn(PointCtx{}, i)
+		}
 		wall := time.Since(t0)
 		inflight.Add(-1)
 		wallHist.Observe(wall.Nanoseconds())
 		pointsDone.Inc()
 		stats.PointWall[i] = wall
+		checkpoint(i, attempts, perr)
+		mu.Lock()
+		if perr != nil {
+			stats.Gaps = append(stats.Gaps, perr)
+		}
 		if opt.Progress != nil {
-			mu.Lock()
 			opt.Progress(PointDone{
 				Index: i, Total: n, Label: labels[i],
-				Wall: wall, Worker: worker,
+				Wall: wall, Worker: worker, Gap: perr != nil,
 			})
-			mu.Unlock()
 		}
+		mu.Unlock()
 	}
 
 	if stats.Workers == 1 {
@@ -170,6 +299,12 @@ func RunPoints[T any](opt ExpOptions, labels []string, fn func(i int) T) ([]T, R
 		close(idx)
 		wg.Wait()
 	}
+
+	// Workers append gaps in completion order; point order is the stable
+	// report order at any Parallelism.
+	sort.Slice(stats.Gaps, func(a, b int) bool {
+		return stats.Gaps[a].Index < stats.Gaps[b].Index
+	})
 
 	stats.Wall = time.Since(start)
 	if opt.Stats != nil {

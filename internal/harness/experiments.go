@@ -8,6 +8,7 @@ import (
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
 	"reqlens/internal/probes"
+	"reqlens/internal/resilience"
 	"reqlens/internal/stats"
 	"reqlens/internal/telemetry"
 	"reqlens/internal/trace"
@@ -114,10 +115,49 @@ type ExpOptions struct {
 	Telemetry *telemetry.Registry
 
 	// Journal, when non-nil, receives one span per experiment, point
-	// and estimation window, timestamped with real wall-clock time.
-	// Journals are observational (timings vary run to run); the results
-	// they describe stay deterministic.
+	// and estimation window, timestamped with real wall-clock time —
+	// and, from the engine, one checkpoint per completed point carrying
+	// the point's serialized result, which is what makes a killed run
+	// resumable. Journals are observational (timings vary run to run);
+	// the results they describe stay deterministic.
 	Journal *telemetry.Journal
+
+	// Supervise forces supervised execution even with no deadline,
+	// retries or chaos configured: panicking points become RunStats.Gaps
+	// entries instead of crashing the process. Setting any of the three
+	// fields below implies it.
+	Supervise bool
+
+	// Deadline is the wall-clock budget of a single point attempt.
+	// Supervised points receive a budget clock through PointCtx and wire
+	// it into their rig (RigOptions.Clock); the simulation event loop
+	// checks it cooperatively, so a hung rig unwinds as a deadline kill
+	// instead of stalling its worker forever. 0 = unlimited.
+	Deadline time.Duration
+
+	// Retries is how many extra attempts a failed point gets, with
+	// capped exponential backoff between attempts. Every attempt reuses
+	// the same index-derived seed, so a successful retry is bit-identical
+	// to a first-try success.
+	Retries int
+
+	// Chaos, when non-nil, deterministically injects first-attempt
+	// panics and hangs by point index (see resilience.Chaos) to prove
+	// the supervision stack against real rigs. With Retries >= 1 a
+	// chaos run's results equal an unperturbed run's exactly.
+	Chaos *resilience.Chaos
+
+	// Resume maps point labels to ok checkpoints from a previous run's
+	// journal (telemetry.Checkpoints). Matching points are satisfied
+	// from their recorded results instead of recomputed; the assembled
+	// output is byte-identical to an uninterrupted run.
+	Resume map[string]telemetry.Record
+}
+
+// Supervised reports whether RunPoints should wrap points in a
+// resilience.Supervisor.
+func (o ExpOptions) Supervised() bool {
+	return o.Supervise || o.Deadline > 0 || o.Retries > 0 || o.Chaos != nil
 }
 
 // withDefaults fills zero-valued scale fields; see the field docs for
@@ -195,13 +235,18 @@ type Fig2Result struct {
 	Estimates []Estimate
 	Fit       stats.LinearFit // ObsvRPS -> RealRPS, as the paper regresses
 	Residuals []float64
+
+	// Gaps lists the labels of load levels that failed under supervision
+	// and contribute no estimates; the fit spans the surviving levels.
+	// Empty (and absent from JSON) on complete runs.
+	Gaps []string `json:",omitempty"`
 }
 
 // fig2Level measures one load level of the Fig. 2 protocol on a private
 // rig: opt.Estimates windows of >= MinSends sends, each paired with the
 // client-reported RPS of the whole level. Pure in (spec, opt, li); safe
 // to run concurrently with other levels.
-func fig2Level(spec workloads.Spec, opt ExpOptions, li int) []Estimate {
+func fig2Level(spec workloads.Spec, opt ExpOptions, pc PointCtx, li int) []Estimate {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
 	label := fmt.Sprintf("%s level=%.2f", spec.Name, level)
@@ -211,7 +256,7 @@ func fig2Level(spec workloads.Spec, opt ExpOptions, li int) []Estimate {
 		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: planNetem(opt),
 		Rate: rate, Probes: true,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
-		Telemetry: pt.reg,
+		Telemetry: pt.reg, Clock: pc.Clock,
 	})
 	defer rig.Close()
 	rig.Warmup(opt.Warmup)
@@ -265,9 +310,10 @@ func fig2Assemble(workload string, perLevel [][]Estimate) Fig2Result {
 func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
 	opt = opt.withDefaults()
 	sp := opt.expBegin("fig2 " + spec.Name)
-	perLevel, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
-		func(li int) []Estimate { return fig2Level(spec, opt, li) })
+	perLevel, st := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
+		func(pc PointCtx, li int) []Estimate { return fig2Level(spec, opt, pc, li) })
 	res := fig2Assemble(spec.Name, perLevel)
+	res.Gaps = st.GapLabels()
 	opt.expEnd(sp)
 	return res
 }
@@ -288,6 +334,12 @@ type SweepPoint struct {
 	StreamEvents  uint64  // events folded into the window
 	StreamDropped uint64  // cumulative ring drops at sample time
 	StreamAgree   bool    // stream window == batch window bit-for-bit
+
+	// Gap marks a level that failed under supervision: only Level is
+	// meaningful, every measurement is zero, and renderers print the
+	// cell as missing instead of folding zeros into aggregates. Absent
+	// from JSON on complete runs.
+	Gap bool `json:",omitempty"`
 }
 
 // SweepResult is a full load sweep with the QoS crossing located.
@@ -302,7 +354,7 @@ type SweepResult struct {
 // sweepLevel measures one load level of a saturation sweep on a private
 // rig. Pure in (spec, opt, li); safe to run concurrently with other
 // levels.
-func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
+func sweepLevel(spec workloads.Spec, opt ExpOptions, pc PointCtx, li int) SweepPoint {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
 	pt := opt.pointBegin(fmt.Sprintf("%s level=%.2f", spec.Name, level))
@@ -312,8 +364,11 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 		Rate: rate, Probes: true,
 		Stream: opt.Stream, StreamBytes: opt.StreamBytes,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
-		Telemetry: pt.reg,
+		Telemetry: pt.reg, Clock: pc.Clock,
 	})
+	// Deferred so a deadline kill unwinding out of the event loop still
+	// drains the rig's goroutines instead of leaking them.
+	defer rig.Close()
 	warm := opt.Warmup
 	if level >= 0.95 {
 		warm = opt.OverWarm // let overload queues accumulate
@@ -324,7 +379,6 @@ func sweepLevel(spec workloads.Spec, opt ExpOptions, li int) SweepPoint {
 	}
 	win := windowFor(opt.MinSends, rate)
 	m := rig.Measure(win)
-	rig.Close()
 	p := SweepPoint{
 		Level:      level,
 		RealRPS:    m.Load.RealRPS,
@@ -364,11 +418,25 @@ func assembleSweep(spec workloads.Spec, points []SweepPoint) SweepResult {
 func SaturationSweep(spec workloads.Spec, opt ExpOptions) SweepResult {
 	opt = opt.withDefaults()
 	sp := opt.expBegin("sweep " + spec.Name)
-	points, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
-		func(li int) SweepPoint { return sweepLevel(spec, opt, li) })
+	points, st := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
+		func(pc PointCtx, li int) SweepPoint { return sweepLevel(spec, opt, pc, li) })
+	markSweepGaps(points, opt.Levels, st)
 	res := assembleSweep(spec, points)
 	opt.expEnd(sp)
 	return res
+}
+
+// markSweepGaps flags gapped sweep points and restores their Level (the
+// zero value the engine left would mislabel the hole as level 0). It
+// handles flat (config x level) grids too: batch index i maps to level
+// i mod len(levels).
+func markSweepGaps(points []SweepPoint, levels []float64, st RunStats) {
+	for _, g := range st.Gaps {
+		if g.Index < 0 || g.Index >= len(points) {
+			continue
+		}
+		points[g.Index] = SweepPoint{Level: levels[g.Index%len(levels)], Gap: true}
+	}
 }
 
 // Fig5Result compares tail latency and the epoll-duration signal under
@@ -393,11 +461,12 @@ func Fig5(spec workloads.Spec, configs []netsim.Config, opt ExpOptions) Fig5Resu
 			labels = append(labels, fmt.Sprintf("%s cfg=%d level=%.2f", spec.Name, ci, l))
 		}
 	}
-	points, _ := RunPoints(opt, labels, func(i int) SweepPoint {
+	points, st := RunPoints(opt, labels, func(pc PointCtx, i int) SweepPoint {
 		o := opt
 		o.Netem = configs[i/nl]
-		return sweepLevel(spec, o, i%nl)
+		return sweepLevel(spec, o, pc, i%nl)
 	})
+	markSweepGaps(points, opt.Levels, st)
 	res := Fig5Result{Workload: spec.Name, Configs: configs}
 	for ci := range configs {
 		res.Sweeps = append(res.Sweeps, assembleSweep(spec, points[ci*nl:(ci+1)*nl]))
@@ -409,6 +478,12 @@ func Fig5(spec workloads.Spec, configs []netsim.Config, opt ExpOptions) Fig5Resu
 type Table2Row struct {
 	Workload string
 	R2       []float64
+
+	// Gapped, when non-nil, flags configurations whose regression lost
+	// one or more load levels to supervision gaps; renderers mark those
+	// cells instead of presenting a partial R^2 as complete. Nil (and
+	// absent from JSON) on complete runs.
+	Gapped []bool `json:",omitempty"`
 }
 
 // Table2 reproduces the paper's Table II: the coefficient of
@@ -427,19 +502,29 @@ func Table2(specs []workloads.Spec, configs []netsim.Config, opt ExpOptions) []T
 			}
 		}
 	}
-	ests, _ := RunPoints(opt, labels, func(i int) []Estimate {
+	ests, st := RunPoints(opt, labels, func(pc PointCtx, i int) []Estimate {
 		si, ci, li := i/(len(configs)*nl), (i/nl)%len(configs), i%nl
 		o := opt
 		o.Netem = configs[ci]
-		return fig2Level(specs[si], o, li)
+		return fig2Level(specs[si], o, pc, li)
 	})
+	gapped := map[int]bool{} // batch index of each gapped cell's config block
+	for _, g := range st.Gaps {
+		gapped[g.Index/nl] = true
+	}
 	rows := make([]Table2Row, 0, len(specs))
 	for si, spec := range specs {
 		row := Table2Row{Workload: spec.Name}
 		for ci := range configs {
-			base := (si*len(configs) + ci) * nl
-			f2 := fig2Assemble(spec.Name, ests[base:base+nl])
+			block := si*len(configs) + ci
+			f2 := fig2Assemble(spec.Name, ests[block*nl:(block+1)*nl])
 			row.R2 = append(row.R2, f2.Fit.R2)
+			if gapped[block] {
+				if row.Gapped == nil {
+					row.Gapped = make([]bool, len(configs))
+				}
+				row.Gapped[ci] = true
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -458,13 +543,19 @@ type OverheadResult struct {
 	// the analytic bound on any latency impact, resolvable even when the
 	// p99 shift is below histogram resolution.
 	CPUSharePct float64
+
+	// Gaps lists the arms ("probes=off"/"probes=on" labels) lost to
+	// supervision gaps; the comparison is meaningless with either arm
+	// missing and renderers say so. Absent from JSON on complete runs.
+	Gaps []string `json:",omitempty"`
 }
 
-// overheadRun is one arm of the Overhead A/B pair.
+// overheadRun is one arm of the Overhead A/B pair. Fields are exported
+// so the engine can checkpoint and resume an arm through JSON.
 type overheadRun struct {
-	p99   time.Duration
-	per   time.Duration
-	share float64
+	P99   time.Duration
+	Per   time.Duration
+	Share float64
 }
 
 // Overhead measures the paper's Section VI claim: attach the full probe
@@ -478,7 +569,7 @@ func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult
 	rate := level * spec.FailureRPS
 	win := windowFor(4*opt.MinSends, rate)
 
-	run := func(probesOn bool) overheadRun {
+	run := func(pc PointCtx, probesOn bool) overheadRun {
 		arm := "off"
 		if probesOn {
 			arm = "on"
@@ -489,8 +580,9 @@ func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult
 			Seed: opt.Seed, Profile: opt.Profile, Netem: opt.Netem,
 			Rate: rate, Probes: probesOn,
 			Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
-			Telemetry: pt.reg,
+			Telemetry: pt.reg, Clock: pc.Clock,
 		})
+		defer rig.Close()
 		rig.Warmup(opt.Warmup)
 		m := rig.Measure(win)
 		var r overheadRun
@@ -503,26 +595,26 @@ func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult
 				calls += th.SyscallCount()
 			}
 			if calls > 0 {
-				r.per = total / time.Duration(calls)
+				r.Per = total / time.Duration(calls)
 			}
 			if cpu > 0 {
-				r.share = 100 * float64(total) / float64(cpu)
+				r.Share = 100 * float64(total) / float64(cpu)
 			}
 		}
-		rig.Close()
-		r.p99 = m.Load.P99
+		r.P99 = m.Load.P99
 		return r
 	}
 
 	labels := []string{spec.Name + " probes=off", spec.Name + " probes=on"}
-	runs, _ := RunPoints(opt, labels, func(i int) overheadRun { return run(i == 1) })
+	runs, st := RunPoints(opt, labels, func(pc PointCtx, i int) overheadRun { return run(pc, i == 1) })
 	off, on := runs[0], runs[1]
 	res := OverheadResult{
 		Workload: spec.Name, Level: level,
-		P99Off: off.p99, P99On: on.p99, PerSyscall: on.per, CPUSharePct: on.share,
+		P99Off: off.P99, P99On: on.P99, PerSyscall: on.Per, CPUSharePct: on.Share,
+		Gaps: st.GapLabels(),
 	}
-	if off.p99 > 0 {
-		res.OverheadPct = 100 * float64(on.p99-off.p99) / float64(off.p99)
+	if off.P99 > 0 && len(res.Gaps) == 0 {
+		res.OverheadPct = 100 * float64(on.P99-off.P99) / float64(off.P99)
 	}
 	return res
 }
@@ -551,6 +643,7 @@ func IOUring(level float64, opt ExpOptions) IOUringResult {
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
 		Telemetry: pt.reg,
 	})
+	defer rig.Close()
 	uring := probes.MustNewDeltaProbe("uring", rig.Server.Process().TGID(),
 		[]int{kernelIoUringEnter})
 	if err := uring.Attach(rig.ServerK.Tracer()); err != nil {
@@ -560,7 +653,6 @@ func IOUring(level float64, opt ExpOptions) IOUringResult {
 	win := windowFor(opt.MinSends, rate)
 	m := rig.Measure(win)
 	u := uring.Snapshot()
-	rig.Close()
 	return IOUringResult{
 		RealRPS:     m.Load.RealRPS,
 		ObsvRPS:     m.RPSObsv,
@@ -591,6 +683,7 @@ func Fig1(spec workloads.Spec, level float64, capture time.Duration, opt ExpOpti
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
 		Telemetry: pt.reg,
 	})
+	defer rig.Close()
 	sp := probes.MustNewStreamProbe("raw", rig.Server.Process().TGID(), 64<<20)
 	if err := sp.Attach(rig.ServerK.Tracer()); err != nil {
 		panic(err)
@@ -598,7 +691,6 @@ func Fig1(spec workloads.Spec, level float64, capture time.Duration, opt ExpOpti
 	rig.Env.RunFor(capture)
 	evs := sp.Drain()
 	dropped := sp.Dropped()
-	rig.Close()
 
 	tev := make([]trace.Event, len(evs))
 	for i, e := range evs {

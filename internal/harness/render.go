@@ -88,8 +88,13 @@ func asciiPlot(title, xlab, ylab string, xs, ys []float64, markX float64) string
 	return b.String()
 }
 
+// gapMark is the cell renderers print for data lost to supervision
+// gaps, so a hole reads as "missing", never as a zero measurement.
+const gapMark = "—"
+
 // RenderFig2 formats one workload's Fig. 2 panel: the correlation plot,
-// fit quality and residual spread.
+// fit quality and residual spread. Gapped levels are called out below
+// the plot; the fit already spans only the surviving estimates.
 func RenderFig2(r Fig2Result) string {
 	var b strings.Builder
 	xs := make([]float64, len(r.Estimates))
@@ -107,46 +112,70 @@ func RenderFig2(r Fig2Result) string {
 		fmt.Fprintf(&b, "residuals: mean=%+.1f p5=%+.1f p50=%+.1f p95=%+.1f (RPS)\n",
 			mean, q[0], q[1], q[2])
 	}
+	if len(r.Gaps) > 0 {
+		fmt.Fprintf(&b, "gaps (%s): %s\n", gapMark, strings.Join(r.Gaps, ", "))
+	}
 	return b.String()
+}
+
+// sweepSeries extracts (RealRPS, y) pairs from the non-gapped points of
+// a sweep, so holes neither plot as zeros nor poison normalization.
+func sweepSeries(r SweepResult, y func(SweepPoint) float64) (xs, ys []float64, gaps []float64) {
+	for _, p := range r.Points {
+		if p.Gap {
+			gaps = append(gaps, p.Level)
+			continue
+		}
+		xs = append(xs, p.RealRPS)
+		ys = append(ys, y(p))
+	}
+	return xs, ys, gaps
+}
+
+// gapFootnote renders the levels a sweep plot had to omit.
+func gapFootnote(gaps []float64) string {
+	if len(gaps) == 0 {
+		return ""
+	}
+	parts := make([]string, len(gaps))
+	for i, l := range gaps {
+		parts[i] = fmt.Sprintf("%.2f", l)
+	}
+	return fmt.Sprintf("gap levels (%s): %s\n", gapMark, strings.Join(parts, ", "))
 }
 
 // RenderFig3 formats one workload's Fig. 3 panel: normalized send-delta
 // variance vs normalized RPS with the QoS-crossing line.
 func RenderFig3(r SweepResult) string {
-	xs := make([]float64, len(r.Points))
-	ys := make([]float64, len(r.Points))
-	for i, p := range r.Points {
-		xs[i] = p.RealRPS
-		ys[i] = p.SendVarUS2
-	}
+	xs, ys, gaps := sweepSeries(r, func(p SweepPoint) float64 { return p.SendVarUS2 })
 	mark := -1.0
-	if r.QoSCrossIdx >= 0 {
+	if r.QoSCrossIdx >= 0 && !r.Points[r.QoSCrossIdx].Gap {
 		mark = normOf(xs, r.Points[r.QoSCrossIdx].RealRPS)
 	}
 	return asciiPlot(
 		fmt.Sprintf("Fig.3 %s: normalized var(dt_send) vs normalized RPS (| = QoS fail)", r.Workload),
-		"RPS (norm)", "var (norm)", stats.Normalize(xs), stats.NormalizeByMax(ys), mark)
+		"RPS (norm)", "var (norm)", stats.Normalize(xs), stats.NormalizeByMax(ys), mark) +
+		gapFootnote(gaps)
 }
 
 // RenderFig4 formats one workload's Fig. 4 panel: normalized mean poll
 // duration vs normalized RPS with the QoS-crossing line.
 func RenderFig4(r SweepResult) string {
-	xs := make([]float64, len(r.Points))
-	ys := make([]float64, len(r.Points))
-	for i, p := range r.Points {
-		xs[i] = p.RealRPS
-		ys[i] = p.PollMeanNS
-	}
+	xs, ys, gaps := sweepSeries(r, func(p SweepPoint) float64 { return p.PollMeanNS })
 	mark := -1.0
-	if r.QoSCrossIdx >= 0 {
+	if r.QoSCrossIdx >= 0 && !r.Points[r.QoSCrossIdx].Gap {
 		mark = normOf(xs, r.Points[r.QoSCrossIdx].RealRPS)
 	}
 	return asciiPlot(
 		fmt.Sprintf("Fig.4 %s: normalized epoll duration vs RPS (| = QoS fail)", r.Workload),
-		"RPS (norm)", "poll dur (norm)", stats.Normalize(xs), stats.NormalizeByMax(ys), mark)
+		"RPS (norm)", "poll dur (norm)", stats.Normalize(xs), stats.NormalizeByMax(ys), mark) +
+		gapFootnote(gaps)
 }
 
 func normOf(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	lo, hi := xs[0], xs[0]
 	for _, x := range xs {
 		if x < lo {
@@ -167,6 +196,10 @@ func normOf(xs []float64, v float64) float64 {
 func RenderFig5(r Fig5Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig.5 %s: network loss impact\n", r.Workload)
+	if len(r.Sweeps) == 0 || len(r.Sweeps[0].Points) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%-8s", "level")
 	for _, cfg := range r.Configs {
 		fmt.Fprintf(&b, " | %14s", fmt.Sprintf("%v/%.0f%%loss p99", cfg.Delay, cfg.Loss*100))
@@ -178,10 +211,18 @@ func RenderFig5(r Fig5Result) string {
 	for i := range r.Sweeps[0].Points {
 		fmt.Fprintf(&b, "%-8.2f", r.Sweeps[0].Points[i].Level)
 		for _, sw := range r.Sweeps {
-			fmt.Fprintf(&b, " | %14v", sw.Points[i].P99.Round(time.Microsecond))
+			if sw.Points[i].Gap {
+				fmt.Fprintf(&b, " | %14s", gapMark)
+			} else {
+				fmt.Fprintf(&b, " | %14v", sw.Points[i].P99.Round(time.Microsecond))
+			}
 		}
 		for _, sw := range r.Sweeps {
-			fmt.Fprintf(&b, " | %12v", time.Duration(sw.Points[i].PollMeanNS).Round(time.Microsecond))
+			if sw.Points[i].Gap {
+				fmt.Fprintf(&b, " | %12s", gapMark)
+			} else {
+				fmt.Fprintf(&b, " | %12v", time.Duration(sw.Points[i].PollMeanNS).Round(time.Microsecond))
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -198,12 +239,21 @@ func RenderTable2(rows []Table2Row, configNames []string) string {
 	}
 	b.WriteByte('\n')
 	b.WriteString(strings.Repeat("-", 22+19*len(configNames)) + "\n")
+	gapsSeen := false
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-22s", r.Workload)
-		for _, v := range r.R2 {
-			fmt.Fprintf(&b, " | %16.4f", v)
+		for ci, v := range r.R2 {
+			if ci < len(r.Gapped) && r.Gapped[ci] {
+				fmt.Fprintf(&b, " | %16s", gapMark)
+				gapsSeen = true
+			} else {
+				fmt.Fprintf(&b, " | %16.4f", v)
+			}
 		}
 		b.WriteByte('\n')
+	}
+	if gapsSeen {
+		fmt.Fprintf(&b, "%s = cell incomplete (one or more levels lost to supervision gaps)\n", gapMark)
 	}
 	return b.String()
 }
@@ -215,6 +265,11 @@ func RenderOverhead(rs []OverheadResult) string {
 	fmt.Fprintf(&b, "%-22s | %6s | %12s | %12s | %9s | %12s | %9s\n",
 		"workload", "load", "p99 off", "p99 on", "overhead", "per syscall", "cpu share")
 	for _, r := range rs {
+		if len(r.Gaps) > 0 {
+			fmt.Fprintf(&b, "%-22s | %5.0f%% | %s incomplete: lost %s\n",
+				r.Workload, 100*r.Level, gapMark, strings.Join(r.Gaps, ", "))
+			continue
+		}
 		fmt.Fprintf(&b, "%-22s | %5.0f%% | %12v | %12v | %+8.2f%% | %12v | %8.3f%%\n",
 			r.Workload, 100*r.Level, r.P99Off.Round(time.Microsecond),
 			r.P99On.Round(time.Microsecond), r.OverheadPct, r.PerSyscall, r.CPUSharePct)

@@ -53,6 +53,13 @@ type RigOptions struct {
 	// results to an uninstrumented one. Nil (the default) leaves every
 	// hot-path counter a nil no-op: one nil check per event.
 	Telemetry *telemetry.Registry
+
+	// Clock, when non-nil, is the supervisor's execution budget for this
+	// rig: the event loop checks it cooperatively every few hundred
+	// events and unwinds with sim.Timeout once it expires, so a hung or
+	// runaway rig is abandoned instead of stalling its engine worker. An
+	// unexpired clock never perturbs the simulation. Nil = no budget.
+	Clock *sim.Clock
 }
 
 // streamDrainEvery is how much simulated time Advance lets pass between
@@ -98,6 +105,7 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 	serverProf.ThreadsPerCore = 1
 
 	env := sim.NewEnv(opt.Seed)
+	env.SetClock(opt.Clock)
 	r := &Rig{
 		Env:     env,
 		ServerK: kernel.New(env, serverProf),

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"reqlens/internal/faults"
+	"reqlens/internal/resilience"
 	"reqlens/internal/workloads"
 )
 
@@ -26,6 +27,11 @@ type RobustnessRow struct {
 	Workload string
 	Baseline float64  // fault-free R²
 	Plans    []PlanR2 // one per requested plan, in input order
+
+	// Gaps lists the labels of cells this workload lost to supervision
+	// gaps; affected plans' R² spans the surviving levels only. Absent
+	// from JSON on complete runs.
+	Gaps []string `json:",omitempty"`
 }
 
 // RobustnessMatrix runs the Fig. 2 correlation protocol for every
@@ -50,15 +56,20 @@ func RobustnessMatrix(specs []workloads.Spec, plans []faults.Plan, opt ExpOption
 			}
 		}
 	}
-	ests, _ := RunPoints(opt, labels, func(i int) []Estimate {
+	ests, st := RunPoints(opt, labels, func(pc PointCtx, i int) []Estimate {
 		si, pi, li := i/(np*nl), (i/nl)%np, i%nl
 		o := opt
 		o.Plan = all[pi]
-		return fig2Level(specs[si], o, li)
+		return fig2Level(specs[si], o, pc, li)
 	})
+	gapsBySpec := map[int][]string{}
+	for _, g := range st.Gaps {
+		si := g.Index / (np * nl)
+		gapsBySpec[si] = append(gapsBySpec[si], g.Label)
+	}
 	rows := make([]RobustnessRow, 0, len(specs))
 	for si, spec := range specs {
-		row := RobustnessRow{Workload: spec.Name}
+		row := RobustnessRow{Workload: spec.Name, Gaps: gapsBySpec[si]}
 		r2 := make([]float64, np)
 		for pi := range all {
 			base := (si*np + pi) * nl
@@ -73,6 +84,22 @@ func RobustnessMatrix(specs []workloads.Spec, plans []faults.Plan, opt ExpOption
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// ChaosOptions arms opt for the robustness matrix's chaos level: the
+// default chaos schedule (a panic every 5th point, a hang every 7th)
+// layered on top of whatever fault plans the matrix already runs, with
+// enough retries that every injection recovers. Because retries replay
+// the same derived seed, a chaos matrix equals the unperturbed matrix
+// value-for-value — the strongest end-to-end statement the supervision
+// stack can make (TestRobustnessChaosIdentical pins it).
+func ChaosOptions(opt ExpOptions) ExpOptions {
+	opt.Chaos = resilience.DefaultChaos()
+	if opt.Retries < 1 {
+		opt.Retries = 2
+	}
+	opt.Supervise = true
+	return opt
 }
 
 // RenderRobustness formats the robustness matrix: one row per workload,
@@ -102,6 +129,12 @@ func RenderRobustness(rows []RobustnessRow) string {
 			fmt.Fprintf(&b, " | %*s", width+10, cell)
 		}
 		b.WriteString("\n")
+	}
+	for _, r := range rows {
+		if len(r.Gaps) > 0 {
+			fmt.Fprintf(&b, "%s: %d cell(s) lost to supervision gaps: %s\n",
+				r.Workload, len(r.Gaps), strings.Join(r.Gaps, ", "))
+		}
 	}
 	worst := 0.0
 	for _, r := range rows {

@@ -21,6 +21,11 @@ type AgreementPoint struct {
 	// same virtual-clock timestamp, so a lossless event stream carries
 	// exactly the values the maps accumulate.
 	Agree bool
+
+	// Gap marks a level lost to a supervision gap: only Level is
+	// meaningful and the point is excluded from agreement accounting.
+	// Absent from JSON on complete runs.
+	Gap bool `json:",omitempty"`
 }
 
 // StreamAgreementResult is the side-by-side validation of the ring-buffer
@@ -42,7 +47,7 @@ type StreamAgreementResult struct {
 // streamAgreementLevel measures one load level with both observers
 // attached to the same kernel. Pure in (spec, opt, li); safe to run
 // concurrently with other levels.
-func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, li int) AgreementPoint {
+func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, pc PointCtx, li int) AgreementPoint {
 	level := opt.Levels[li]
 	rate := level * spec.FailureRPS
 	pt := opt.pointBegin(fmt.Sprintf("%s level=%.2f", spec.Name, level))
@@ -51,15 +56,15 @@ func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, li int) Agreement
 		Seed: opt.Seed + int64(li), Profile: opt.Profile, Netem: opt.Netem,
 		Rate: rate, Probes: true, Stream: true, StreamBytes: opt.StreamBytes,
 		Poisson: opt.Poisson, SeparateClient: opt.SeparateClient,
-		Telemetry: pt.reg,
+		Telemetry: pt.reg, Clock: pc.Clock,
 	})
+	defer rig.Close()
 	warm := opt.Warmup
 	if level >= 0.95 {
 		warm = opt.OverWarm
 	}
 	rig.Warmup(warm)
 	m := rig.Measure(windowFor(opt.MinSends, rate))
-	rig.Close()
 	return AgreementPoint{
 		Level:  level,
 		Batch:  m.Obs,
@@ -76,10 +81,18 @@ func StreamAgreement(spec workloads.Spec, opt ExpOptions) StreamAgreementResult 
 	opt = opt.withDefaults()
 	sp := opt.expBegin("stream-agreement " + spec.Name)
 	defer opt.expEnd(sp)
-	points, _ := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
-		func(li int) AgreementPoint { return streamAgreementLevel(spec, opt, li) })
+	points, st := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
+		func(pc PointCtx, li int) AgreementPoint { return streamAgreementLevel(spec, opt, pc, li) })
+	for _, g := range st.Gaps {
+		if g.Index >= 0 && g.Index < len(points) {
+			points[g.Index] = AgreementPoint{Level: opt.Levels[g.Index], Gap: true}
+		}
+	}
 	res := StreamAgreementResult{Workload: spec.Name, RingBytes: opt.StreamBytes, Points: points}
 	for _, p := range points {
+		if p.Gap {
+			continue
+		}
 		if !p.Agree {
 			res.Disagreements++
 		}
@@ -98,16 +111,23 @@ func RenderStreamAgreement(r StreamAgreementResult) string {
 	fmt.Fprintf(&b, "Streaming vs batch observer: %s (ring %s)\n", r.Workload, ring)
 	fmt.Fprintf(&b, "%-6s | %12s | %12s | %8s | %8s | %6s\n",
 		"level", "batch RPS", "stream RPS", "events", "dropped", "agree")
+	gaps := 0
 	for _, p := range r.Points {
+		if p.Gap {
+			fmt.Fprintf(&b, "%-6.2f | %12s | %12s | %8s | %8s | %6s\n",
+				p.Level, gapMark, gapMark, gapMark, gapMark, gapMark)
+			gaps++
+			continue
+		}
 		fmt.Fprintf(&b, "%-6.2f | %12.1f | %12.1f | %8d | %8d | %6v\n",
 			p.Level, p.Batch.Send.RatePerSec, p.Stream.Send.RatePerSec,
 			p.Stream.Events, p.Stream.Dropped, p.Agree)
 	}
-	if r.Disagreements == 0 && r.TotalDropped == 0 {
+	if r.Disagreements == 0 && r.TotalDropped == 0 && gaps == 0 {
 		b.WriteString("all windows agree bit-for-bit; no events dropped\n")
 	} else {
-		fmt.Fprintf(&b, "%d/%d windows diverged, %d events dropped\n",
-			r.Disagreements, len(r.Points), r.TotalDropped)
+		fmt.Fprintf(&b, "%d/%d windows diverged, %d events dropped, %d gap(s)\n",
+			r.Disagreements, len(r.Points), r.TotalDropped, gaps)
 	}
 	return b.String()
 }
@@ -137,6 +157,10 @@ func RenderStreamDrops(r StreamDropProfile) string {
 		r.Workload, r.RingBytes, streamDrainEvery)
 	fmt.Fprintf(&b, "%-6s | %8s | %8s | %9s\n", "level", "events", "dropped", "loss")
 	for _, p := range r.Points {
+		if p.Gap {
+			fmt.Fprintf(&b, "%-6.2f | %8s | %8s | %9s\n", p.Level, gapMark, gapMark, gapMark)
+			continue
+		}
 		total := p.Stream.Events + p.Stream.Dropped
 		loss := 0.0
 		if total > 0 {

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the cooperative execution budget for a simulation run.
+// A rig is pure computation — nothing inside it blocks on the outside
+// world — so a "hung" rig is really a rig whose event heap keeps
+// producing work faster than wall-clock time retires it (an overloaded
+// queue that never drains, a fault plan that floods the scheduler).
+// Such a rig cannot be preempted from outside without leaking its proc
+// goroutines; instead the event loop itself checks a Clock every
+// clockCheckEvery events and unwinds with a typed Timeout panic the
+// moment the budget is gone. The supervisor (internal/resilience)
+// recovers that panic into a deadline-kill; deferred rig.Close calls on
+// the unwinding stack shut the environment down cleanly.
+//
+// Determinism: the clock is read-only to the simulation — expiry either
+// never fires (results identical to an unbudgeted run) or abandons the
+// whole run. There is no path by which wall-clock time influences a
+// completed result.
+
+// clockCheckEvery is the event cadence of the budget check (power of
+// two, so the test is a mask). Checking every event would put a
+// time.Now() on the hot path; every 256th event bounds detection
+// latency to a few microseconds of simulated work while keeping the
+// common case at one nil check.
+const clockCheckEvery = 256
+
+// Timeout is the panic value the event loop raises when the
+// environment's Clock budget expires. It records where virtual time had
+// reached so deadline kills are attributable ("stuck at 14s of warmup"
+// reads very differently from "stuck at 0"). It implements error so
+// supervisors can wrap it directly.
+type Timeout struct {
+	At     Time   // virtual time when the budget check fired
+	Events uint64 // events executed when it fired
+}
+
+func (t Timeout) Error() string {
+	return fmt.Sprintf("sim: execution budget exhausted at t=%v after %d events", t.At, t.Events)
+}
+
+// Clock is a cooperative wall-clock execution budget for one simulation
+// run. The event loop of an Env carrying a Clock checks it periodically
+// and panics with Timeout once it reports expiry; a nil *Clock never
+// expires, so unbudgeted environments stay on the plain path.
+//
+// A Clock expires either by its wall deadline passing or by an explicit
+// Expire call (a watchdog abandoning the run from outside, or a chaos
+// injector simulating a hang). Expiry is one-way: once expired, a Clock
+// stays expired.
+type Clock struct {
+	deadline time.Time // zero = no wall deadline
+	expired  atomic.Bool
+}
+
+// NewClock returns a clock that expires once budget of wall-clock time
+// has passed. A non-positive budget yields a clock with no deadline —
+// it expires only via Expire.
+func NewClock(budget time.Duration) *Clock {
+	c := &Clock{}
+	if budget > 0 {
+		c.deadline = time.Now().Add(budget)
+	}
+	return c
+}
+
+// Expire forces the clock into the expired state immediately. Safe for
+// concurrent use and on a nil receiver (no-op).
+func (c *Clock) Expire() {
+	if c != nil {
+		c.expired.Store(true)
+	}
+}
+
+// Expired reports whether the budget is gone. Nil receivers never
+// expire. The wall-deadline comparison is latched, so Expired stays
+// true once it has been observed true.
+func (c *Clock) Expired() bool {
+	if c == nil {
+		return false
+	}
+	if c.expired.Load() {
+		return true
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.expired.Store(true)
+		return true
+	}
+	return false
+}
+
+// SetClock attaches a cooperative execution budget to the environment.
+// Pass nil to detach. The budget is checked every clockCheckEvery
+// events; see Clock.
+func (e *Env) SetClock(c *Clock) { e.clock = c }

@@ -54,6 +54,12 @@ type Env struct {
 	stopping bool
 	executed uint64
 
+	// clock, when non-nil, is the cooperative execution budget: Step
+	// checks it every clockCheckEvery events and panics with Timeout
+	// once it expires (see clock.go). Nil — the default — keeps the
+	// event loop on a single nil check.
+	clock *Clock
+
 	// telEvents mirrors executed into a telemetry counter when the
 	// environment is instrumented; nil (a no-op) otherwise. Telemetry is
 	// write-only from the simulation's point of view, so instrumenting an
@@ -114,8 +120,14 @@ func (e *Env) ScheduleAt(t Time, fn func()) *Event {
 }
 
 // Step runs the single next event, advancing the clock to it. It returns
-// false when no events remain.
+// false when no events remain. With a Clock attached, every
+// clockCheckEvery-th step first verifies the execution budget and
+// panics with Timeout when it is exhausted — the cooperative
+// cancellation point that lets a supervisor abandon a hung rig.
 func (e *Env) Step() bool {
+	if e.clock != nil && e.executed&(clockCheckEvery-1) == 0 && e.clock.Expired() {
+		panic(Timeout{At: e.now, Events: e.executed})
+	}
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
@@ -188,6 +200,14 @@ func (e *Env) Shutdown() {
 	e.stopping = true
 	for len(e.procs) > 0 {
 		for p := range e.procs {
+			// A proc whose spawn event never fired (e.g. the execution
+			// budget expired before the loop ran it) has no goroutine to
+			// unwind; activating it would block on its resume channel
+			// forever. Just unregister it.
+			if !p.started {
+				delete(e.procs, p)
+				continue
+			}
 			if p.waiting {
 				p.activate()
 			}

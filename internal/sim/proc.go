@@ -14,6 +14,7 @@ type Proc struct {
 	name    string
 	resume  chan struct{}
 	waiting bool // parked, waiting for activate
+	started bool // the body goroutine exists (its spawn event has fired)
 	done    bool
 }
 
@@ -24,6 +25,7 @@ func (e *Env) Spawn(name string, body func(*Proc)) *Proc {
 	e.procs[p] = struct{}{}
 	p.waiting = true
 	e.Schedule(0, func() {
+		p.started = true
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -13,11 +14,23 @@ import (
 
 // Span kinds emitted by the harness. The hierarchy is
 // experiment -> point (one workload x level on a private rig) -> window
-// (one estimation window inside a point).
+// (one estimation window inside a point). Beside the spans, two marker
+// kinds make a journal a checkpoint log: a run header identifying the
+// invocation, and one checkpoint per completed (or abandoned) point
+// carrying the point's serialized result so an interrupted run can be
+// resumed without recomputing it.
 const (
 	KindExperiment = "experiment"
 	KindPoint      = "point"
 	KindWindow     = "window"
+	KindRun        = "run"        // run header: command name + args
+	KindCheckpoint = "checkpoint" // one completed/failed point + result
+)
+
+// Checkpoint statuses.
+const (
+	CheckpointOK     = "ok"     // Result holds the point's serialized value
+	CheckpointFailed = "failed" // Error holds the failure; the point must re-run
 )
 
 // Record is one completed span in the run journal: a JSONL line carrying
@@ -31,6 +44,17 @@ type Record struct {
 	StartNS int64              `json:"start_ns"` // monotonic ns since journal creation
 	DurNS   int64              `json:"dur_ns"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Checkpoint/run-header payload; zero on plain span records. Name
+	// carries the point label (checkpoints) or command name (run
+	// headers), so old readers render these records harmlessly.
+	Index    int             `json:"index,omitempty"`    // point index within its batch
+	Seed     int64           `json:"seed,omitempty"`     // root seed the result derives from
+	Attempts int             `json:"attempts,omitempty"` // supervisor attempts consumed
+	Status   string          `json:"status,omitempty"`   // CheckpointOK or CheckpointFailed
+	Error    string          `json:"error,omitempty"`    // failure rendering (status failed)
+	Args     []string        `json:"args,omitempty"`     // run header: invocation flags
+	Result   json.RawMessage `json:"result,omitempty"`   // the point's serialized value
 }
 
 // Start returns the span start as a duration since journal creation.
@@ -39,21 +63,103 @@ func (r Record) Start() time.Duration { return time.Duration(r.StartNS) }
 // Dur returns the span duration.
 func (r Record) Dur() time.Duration { return time.Duration(r.DurNS) }
 
-// Journal serializes span records to an io.Writer as JSONL. It is safe
-// for concurrent use (the parallel engine completes points on several
-// goroutines); records are written whole, one per line, in completion
-// order. A nil *Journal discards everything, which is how telemetry
-// stays out of undashboarded runs.
+// Journal serializes span records as JSONL. It is safe for concurrent
+// use (the parallel engine completes points on several goroutines);
+// records are written whole, one per line, in completion order. A nil
+// *Journal discards everything, which is how telemetry stays out of
+// undashboarded runs.
+//
+// Two backing modes:
+//
+//   - Stream mode (NewJournal): records append to an io.Writer as they
+//     are emitted. A crash can tear the final line; ReadJournal
+//     tolerates that.
+//   - File mode (OpenJournal): the journal owns a path and persists
+//     with write-temp-then-rename. Durability-bearing records — run
+//     headers, checkpoints, experiment spans — rewrite path.tmp with
+//     the full journal and atomically rename it over path, so a reader
+//     (or a resume after SIGKILL) always observes a complete journal
+//     whose last flushed checkpoint is intact. Window/point spans
+//     buffer between flushes; losing an unflushed tail costs
+//     observability, never resumability.
 type Journal struct {
 	mu    sync.Mutex
-	w     io.Writer
+	w     io.Writer // stream mode; nil in file mode
 	epoch time.Time
+
+	// File mode state.
+	path string
+	buf  []byte // full JSONL contents accumulated so far
+	err  error  // first flush error, surfaced by Close
 }
 
-// NewJournal returns a journal writing to w. Timestamps are monotonic
-// durations since this call.
+// NewJournal returns a stream-mode journal writing to w. Timestamps are
+// monotonic durations since this call.
 func NewJournal(w io.Writer) *Journal {
 	return &Journal{w: w, epoch: time.Now()}
+}
+
+// OpenJournal returns a file-mode journal persisted at path with
+// write-temp-then-rename atomicity (see Journal). The file is created
+// (empty) immediately so a crash before the first record still leaves
+// a readable journal.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, epoch: time.Now()}
+	if err := j.flushLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// flushLocked rewrites path.tmp with the full journal contents and
+// renames it over path. Callers hold j.mu (or have exclusive access).
+func (j *Journal) flushLocked() error {
+	tmp := j.path + ".tmp"
+	if err := os.WriteFile(tmp, j.buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, j.path)
+}
+
+// Close flushes a file-mode journal's buffered tail and reports the
+// first error any flush hit. Stream-mode journals and nil journals
+// return nil (the caller owns the writer).
+func (j *Journal) Close() error {
+	if j == nil || j.path == "" {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.flushLocked(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// RunHeader records the invocation this journal checkpoints: the
+// command name and its argument list, which `resume` replays to
+// reconstruct the run's configuration. Flushed atomically in file mode.
+// No-op on a nil journal.
+func (j *Journal) RunHeader(name string, args []string) {
+	if j == nil {
+		return
+	}
+	j.emit(Record{Kind: KindRun, Name: name, Args: args,
+		StartNS: int64(time.Since(j.epoch))})
+}
+
+// Checkpoint records one completed (or abandoned) point. The record's
+// Kind is forced to KindCheckpoint and its timestamp to now; everything
+// else — label in Name, Index, Seed, Status, Result or Error — is the
+// caller's. Flushed atomically in file mode, so after Checkpoint
+// returns the point survives SIGKILL. No-op on a nil journal.
+func (j *Journal) Checkpoint(rec Record) {
+	if j == nil {
+		return
+	}
+	rec.Kind = KindCheckpoint
+	rec.StartNS = int64(time.Since(j.epoch))
+	j.emit(rec)
 }
 
 // Span is an open interval started by Begin. End emits the record. A nil
@@ -97,26 +203,50 @@ func (j *Journal) emit(rec Record) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.path != "" {
+		j.buf = append(j.buf, line...)
+		j.buf = append(j.buf, '\n')
+		// Only durability-bearing records pay the rewrite+rename; span
+		// records ride along on the next flush or Close.
+		switch rec.Kind {
+		case KindRun, KindCheckpoint, KindExperiment:
+			if err := j.flushLocked(); err != nil && j.err == nil {
+				j.err = err
+			}
+		}
+		return
+	}
 	j.w.Write(line)
 	j.w.Write([]byte{'\n'})
 }
 
 // ReadJournal parses a JSONL journal back into records, in file order.
-// Blank lines are skipped; a malformed line is an error.
+// Blank lines are skipped. A malformed *final* line is a torn tail — a
+// writer killed mid-append — and is silently dropped: everything before
+// it is intact and a resume proceeds from the last whole record.
+// Malformed lines followed by well-formed ones are real corruption and
+// error out.
 func ReadJournal(r io.Reader) ([]Record, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
+	tornLine := 0 // most recent malformed line, pending a verdict
+	var tornErr error
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
+		if tornErr != nil {
+			// The malformed line was not last: corruption, not a tear.
+			return nil, fmt.Errorf("telemetry: journal line %d: %v", tornLine, tornErr)
+		}
 		var rec Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("telemetry: journal line %d: %v", line, err)
+			tornLine, tornErr = line, err
+			continue
 		}
 		out = append(out, rec)
 	}
@@ -124,6 +254,32 @@ func ReadJournal(r io.Reader) ([]Record, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// LastRunHeader returns the most recent run-header record, if any. A
+// journal written by one invocation has exactly one; resumed runs
+// append their own, and the latest wins.
+func LastRunHeader(recs []Record) (Record, bool) {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Kind == KindRun {
+			return recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// Checkpoints indexes a journal's successful checkpoints by point
+// label, last record winning (a resumed run re-emits checkpoints for
+// cached points, so resume-of-resume sees a complete set). Failed
+// checkpoints are excluded — those points must re-run.
+func Checkpoints(recs []Record) map[string]Record {
+	out := map[string]Record{}
+	for _, r := range recs {
+		if r.Kind == KindCheckpoint && r.Status == CheckpointOK {
+			out[r.Name] = r
+		}
+	}
+	return out
 }
 
 // journalDropKeys are the metric names whose sum across point spans is

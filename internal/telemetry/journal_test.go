@@ -2,6 +2,9 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -79,12 +82,138 @@ func TestJournalConcurrentEmits(t *testing.T) {
 }
 
 func TestReadJournalErrors(t *testing.T) {
-	if _, err := ReadJournal(strings.NewReader("{not json\n")); err == nil {
-		t.Fatal("want error on malformed line")
+	// A malformed line followed by a well-formed one is corruption.
+	corrupt := "{not json\n" + `{"kind":"point","name":"p","start_ns":1,"dur_ns":1}` + "\n"
+	if _, err := ReadJournal(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("want error on mid-file malformed line")
 	}
 	recs, err := ReadJournal(strings.NewReader("\n\n"))
 	if err != nil || len(recs) != 0 {
 		t.Fatalf("blank journal: %v, %v", recs, err)
+	}
+}
+
+// TestReadJournalTornTail: a writer killed mid-append leaves a partial
+// final line; the reader drops it and keeps everything before it.
+func TestReadJournalTornTail(t *testing.T) {
+	whole := `{"kind":"checkpoint","name":"a","start_ns":1,"status":"ok"}` + "\n"
+	for _, tail := range []string{
+		`{"kind":"checkpo`,          // torn mid-key
+		`{"kind":"checkpoint","na`,  // torn mid-record
+		"{not json",                 // garbage tail
+		`{"kind":"checkpo` + "\n\n", // torn line then blank lines
+	} {
+		recs, err := ReadJournal(strings.NewReader(whole + tail))
+		if err != nil {
+			t.Fatalf("tail %q must be tolerated: %v", tail, err)
+		}
+		if len(recs) != 1 || recs[0].Name != "a" {
+			t.Fatalf("tail %q: records = %+v", tail, recs)
+		}
+	}
+	// A journal that is nothing but a torn line reads as empty.
+	recs, err := ReadJournal(strings.NewReader("{not json\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("lone torn line: %v, %v", recs, err)
+	}
+}
+
+// TestFileJournalAtomicCheckpoints: every checkpoint leaves the on-disk
+// journal whole and parseable, and the file only ever moves forward via
+// rename (no partially written state is observable at the path).
+func TestFileJournalAtomicCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file must exist immediately: %v", err)
+	}
+
+	j.RunHeader("fig2", []string{"-workload", "silo", "-seed", "42"})
+	for i := 0; i < 3; i++ {
+		j.Checkpoint(Record{
+			Name: "silo level=" + string(rune('1'+i)), Index: i, Seed: 42,
+			Attempts: 1, Status: CheckpointOK,
+			Result: json.RawMessage(`{"v":` + string(rune('0'+i)) + `}`),
+		})
+		// After each checkpoint the path must hold a complete journal.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadJournal(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("after checkpoint %d: %v", i, err)
+		}
+		if len(recs) != i+2 {
+			t.Fatalf("after checkpoint %d: %d records", i, len(recs))
+		}
+	}
+	// Span records buffer until Close.
+	j.Begin(KindPoint, "tail").End(nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	recs, err := ReadJournal(bytes.NewReader(data))
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("final journal: %d records, %v", len(recs), err)
+	}
+
+	hdr, ok := LastRunHeader(recs)
+	if !ok || hdr.Name != "fig2" || len(hdr.Args) != 4 {
+		t.Fatalf("run header = %+v, %v", hdr, ok)
+	}
+	cps := Checkpoints(recs)
+	if len(cps) != 3 {
+		t.Fatalf("checkpoints = %v", cps)
+	}
+	cp := cps["silo level=2"]
+	if cp.Index != 1 || cp.Seed != 42 || string(cp.Result) != `{"v":1}` {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file lingers: %v", err)
+	}
+}
+
+// TestCheckpointsSemantics: failed checkpoints are excluded and a later
+// checkpoint for the same label wins (resume-of-resume).
+func TestCheckpointsSemantics(t *testing.T) {
+	recs := []Record{
+		{Kind: KindCheckpoint, Name: "a", Status: CheckpointFailed, Error: "boom"},
+		{Kind: KindCheckpoint, Name: "b", Status: CheckpointOK, Index: 1},
+		{Kind: KindCheckpoint, Name: "b", Status: CheckpointOK, Index: 2},
+		{Kind: KindPoint, Name: "c"},
+	}
+	cps := Checkpoints(recs)
+	if len(cps) != 1 {
+		t.Fatalf("checkpoints = %v", cps)
+	}
+	if cps["b"].Index != 2 {
+		t.Fatalf("last checkpoint must win: %+v", cps["b"])
+	}
+	if _, ok := LastRunHeader(recs); ok {
+		t.Fatal("no run header present")
+	}
+}
+
+// TestRenderJournalUnknownKinds: checkpoint/run records flow through the
+// renderer's generic phase path without crashing it.
+func TestRenderJournalCheckpointKinds(t *testing.T) {
+	recs := []Record{
+		{Kind: KindRun, Name: "fig2"},
+		{Kind: KindCheckpoint, Name: "a", Status: CheckpointOK},
+		{Kind: KindPoint, Name: "a", DurNS: 100},
+	}
+	out := RenderJournal(recs, 5)
+	for _, want := range []string{"checkpoint", "run", "point"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
 	}
 }
 

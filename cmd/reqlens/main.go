@@ -41,15 +41,16 @@
 // format on exit (including the supervisor's panic/retry/gap counters
 // when supervision is on), and -journal F records a JSONL run journal:
 // one span per experiment, point and estimation window, plus a
-// checkpoint record per completed point, each flushed with an atomic
-// write-then-rename so the journal is consistent even if the process is
-// killed mid-run. `reqlens telemetry -journal F` renders a recorded
-// journal; `reqlens resume -journal F` re-runs the command recorded in
-// the journal's header, replaying completed points from their
-// checkpoints — the resumed run's output is byte-identical to an
-// uninterrupted one. Telemetry and journals are write-only observers:
-// enabling them cannot change any reported result (the simulated clock
-// never sees them).
+// checkpoint record per completed point, each appended and fsynced so
+// every checkpoint survives even if the process is killed mid-run (a
+// torn final line is tolerated on read). `reqlens telemetry -journal F`
+// renders a recorded journal; `reqlens resume -journal F` re-runs the
+// command recorded in the journal's header, replaying completed points
+// from their checkpoints — the resumed run appends to the journal it
+// resumes from, so its checkpoints survive a second kill, and its
+// output is byte-identical to an uninterrupted one. Telemetry and
+// journals are write-only observers: enabling them cannot change any
+// reported result (the simulated clock never sees them).
 package main
 
 import (
@@ -167,7 +168,18 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 		defer writeMetrics(opt.Telemetry, *metricsPath)
 	}
 	if *journalPath != "" {
-		j, err := telemetry.OpenJournal(*journalPath)
+		// A resumed run appends to the journal it is resuming from
+		// (ResumeJournal) instead of truncating it (OpenJournal): if the
+		// resumed process is killed before re-checkpointing anything, the
+		// prior run's checkpoints must still be on disk — that crash
+		// window is exactly what resume exists to survive.
+		var j *telemetry.Journal
+		var err error
+		if resume != nil {
+			j, err = telemetry.ResumeJournal(*journalPath)
+		} else {
+			j, err = telemetry.OpenJournal(*journalPath)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "journal:", err)
 			os.Exit(1)

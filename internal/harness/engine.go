@@ -162,9 +162,13 @@ func (o ExpOptions) workers(n int) int {
 // reported in Gaps.
 //
 // Checkpointing (opt.Journal non-nil): every completed point is recorded
-// as a checkpoint carrying its JSON-serialized result. Resume
-// (opt.Resume non-nil): points whose label maps to an ok checkpoint with
-// a matching root seed are satisfied from the journal without
+// as a checkpoint carrying its JSON-serialized result, keyed by the
+// driver's experiment scope plus the point label — labels repeat across
+// experiments (sweep and stream-agreement both use "<workload>
+// level=X"), so the scope is what keeps one journal's checkpoints from
+// shadowing each other. Resume (opt.Resume non-nil): points whose
+// (experiment, label) key maps to an ok checkpoint with a matching root
+// seed and point index are satisfied from the journal without
 // recomputation — and re-checkpointed, so a resumed run's journal is
 // itself resumable.
 func RunPoints[T any](opt ExpOptions, labels []string, fn func(pc PointCtx, i int) T) ([]T, RunStats) {
@@ -203,7 +207,7 @@ func RunPoints[T any](opt ExpOptions, labels []string, fn func(pc PointCtx, i in
 		if opt.Journal == nil {
 			return
 		}
-		rec := telemetry.Record{Name: labels[i], Index: i, Seed: seed, Attempts: attempts}
+		rec := telemetry.Record{Experiment: opt.exp, Name: labels[i], Index: i, Seed: seed, Attempts: attempts}
 		if perr != nil {
 			rec.Status = telemetry.CheckpointFailed
 			rec.Error = perr.Error()
@@ -219,22 +223,30 @@ func RunPoints[T any](opt ExpOptions, labels []string, fn func(pc PointCtx, i in
 	start := time.Now()
 	var mu sync.Mutex // serializes Progress callbacks and shared stats
 	runOne := func(i, worker int) {
-		// Resume: an ok checkpoint with the right root seed replays the
-		// recorded result byte-for-byte (Go numbers round-trip JSON
-		// exactly). A checkpoint from another seed, a failed one, or one
-		// whose payload no longer parses falls through to recomputation.
-		if rec, ok := opt.Resume[labels[i]]; ok &&
-			rec.Seed == seed && rec.Status == telemetry.CheckpointOK && len(rec.Result) > 0 {
+		// Resume: an ok checkpoint with the right root seed and point
+		// index replays the recorded result byte-for-byte (Go numbers
+		// round-trip JSON exactly). A checkpoint from another seed or
+		// batch position, a failed one, or one whose payload no longer
+		// parses falls through to recomputation.
+		if rec, ok := opt.Resume[telemetry.CheckpointKey(opt.exp, labels[i])]; ok &&
+			rec.Index == i && rec.Seed == seed &&
+			rec.Status == telemetry.CheckpointOK && len(rec.Result) > 0 {
+			t0 := time.Now()
 			var v T
 			if err := json.Unmarshal(rec.Result, &v); err == nil {
 				out[i] = v
 				cachedPts.Inc()
 				checkpoint(i, rec.Attempts, nil) // keep the resumed journal complete
+				// Replay wall time is tiny but real; recording it keeps
+				// TotalPointWall/Concurrency honest on resumed runs.
+				wall := time.Since(t0)
+				wallHist.Observe(wall.Nanoseconds())
+				stats.PointWall[i] = wall
 				mu.Lock()
 				stats.Cached++
 				if opt.Progress != nil {
 					opt.Progress(PointDone{Index: i, Total: n, Label: labels[i],
-						Worker: worker, Cached: true})
+						Wall: wall, Worker: worker, Cached: true})
 				}
 				mu.Unlock()
 				return

@@ -147,11 +147,18 @@ type ExpOptions struct {
 	// chaos run's results equal an unperturbed run's exactly.
 	Chaos *resilience.Chaos
 
-	// Resume maps point labels to ok checkpoints from a previous run's
-	// journal (telemetry.Checkpoints). Matching points are satisfied
-	// from their recorded results instead of recomputed; the assembled
-	// output is byte-identical to an uninterrupted run.
+	// Resume maps telemetry.CheckpointKey(experiment, label) to ok
+	// checkpoints from a previous run's journal (telemetry.Checkpoints).
+	// Matching points are satisfied from their recorded results instead
+	// of recomputed; the assembled output is byte-identical to an
+	// uninterrupted run.
 	Resume map[string]telemetry.Record
+
+	// exp is the experiment scope RunPoints namespaces checkpoints and
+	// resume lookups under; drivers set it through expScope. Different
+	// experiments reuse identical point labels, so the scope is what
+	// keeps one journal's checkpoints from colliding.
+	exp string
 }
 
 // Supervised reports whether RunPoints should wrap points in a
@@ -309,7 +316,7 @@ func fig2Assemble(workload string, perLevel [][]Estimate) Fig2Result {
 // linear regression. Load levels run on the parallel engine.
 func Fig2(spec workloads.Spec, opt ExpOptions) Fig2Result {
 	opt = opt.withDefaults()
-	sp := opt.expBegin("fig2 " + spec.Name)
+	opt, sp := opt.expScope("fig2 " + spec.Name)
 	perLevel, st := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
 		func(pc PointCtx, li int) []Estimate { return fig2Level(spec, opt, pc, li) })
 	res := fig2Assemble(spec.Name, perLevel)
@@ -417,7 +424,7 @@ func assembleSweep(spec workloads.Spec, points []SweepPoint) SweepResult {
 // parallel engine; the result is identical at any Parallelism.
 func SaturationSweep(spec workloads.Spec, opt ExpOptions) SweepResult {
 	opt = opt.withDefaults()
-	sp := opt.expBegin("sweep " + spec.Name)
+	opt, sp := opt.expScope("sweep " + spec.Name)
 	points, st := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
 		func(pc PointCtx, li int) SweepPoint { return sweepLevel(spec, opt, pc, li) })
 	markSweepGaps(points, opt.Levels, st)
@@ -452,7 +459,7 @@ type Fig5Result struct {
 // levels.
 func Fig5(spec workloads.Spec, configs []netsim.Config, opt ExpOptions) Fig5Result {
 	opt = opt.withDefaults()
-	sp := opt.expBegin("fig5 " + spec.Name)
+	opt, sp := opt.expScope("fig5 " + spec.Name)
 	defer opt.expEnd(sp)
 	nl := len(opt.Levels)
 	labels := make([]string, 0, len(configs)*nl)
@@ -491,7 +498,7 @@ type Table2Row struct {
 // The whole workload x config x level grid fans out as one engine batch.
 func Table2(specs []workloads.Spec, configs []netsim.Config, opt ExpOptions) []Table2Row {
 	opt = opt.withDefaults()
-	sp := opt.expBegin("table2")
+	opt, sp := opt.expScope("table2")
 	defer opt.expEnd(sp)
 	nl := len(opt.Levels)
 	labels := make([]string, 0, len(specs)*len(configs)*nl)
@@ -564,7 +571,7 @@ type overheadRun struct {
 // opt.Seed, as an A/B pair must).
 func Overhead(spec workloads.Spec, level float64, opt ExpOptions) OverheadResult {
 	opt = opt.withDefaults()
-	esp := opt.expBegin("overhead " + spec.Name)
+	opt, esp := opt.expScope("overhead " + spec.Name)
 	defer opt.expEnd(esp)
 	rate := level * spec.FailureRPS
 	win := windowFor(4*opt.MinSends, rate)

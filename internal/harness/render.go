@@ -303,7 +303,15 @@ func RenderFig1(r Fig1Result) string {
 	for n := range r.Counts {
 		names = append(names, n)
 	}
-	sort.Slice(names, func(i, j int) bool { return r.Counts[names[i]] > r.Counts[names[j]] })
+	// Tie-break equal counts by name: names come out of map iteration in
+	// random order and sort.Slice is unstable, so a count-only comparator
+	// would break the byte-identical-output contract run to run.
+	sort.Slice(names, func(i, j int) bool {
+		if r.Counts[names[i]] != r.Counts[names[j]] {
+			return r.Counts[names[i]] > r.Counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
 	for _, n := range names {
 		mark := " "
 		if nrByName(n) >= 0 && trace.RequestOriented(nrByName(n)) {

@@ -257,6 +257,74 @@ func TestResumeEngineSemantics(t *testing.T) {
 	if recomputed != 3 || st.Cached != 0 {
 		t.Fatalf("wrong-seed resume: recomputed=%d cached=%d, want 3/0", recomputed, st.Cached)
 	}
+
+	// So must one whose recorded index disagrees with the point's batch
+	// position — a label match alone is not proof it is the same point.
+	shifted := map[string]telemetry.Record{}
+	for k, r := range cps {
+		r.Index++
+		shifted[k] = r
+	}
+	recomputed = 0
+	_, st = RunPoints(ExpOptions{Parallelism: 1, Resume: shifted}, labels,
+		func(_ PointCtx, i int) []float64 { recomputed++; return compute(i) })
+	if recomputed != 3 || st.Cached != 0 {
+		t.Fatalf("index-mismatch resume: recomputed=%d cached=%d, want 3/0", recomputed, st.Cached)
+	}
+}
+
+// TestResumeExperimentNamespacing is the regression test for checkpoint
+// key collisions: SaturationSweep and StreamAgreement label their points
+// identically ("<workload> level=X"), so in a journal covering both (as
+// `reqlens all -journal F` records) the agreement run's checkpoints
+// used to shadow the sweep's — and a resumed sweep silently replayed
+// zero-valued SweepPoints unmarshalled from AgreementPoint JSON. With
+// experiment-scoped keys both sets coexist and resuming the sweep
+// replays the sweep's own bytes.
+func TestResumeExperimentNamespacing(t *testing.T) {
+	spec := workloads.Silo()
+	opt := tinyOpts()
+	opt.Parallelism = 1
+	clean := SaturationSweep(spec, opt)
+
+	path := filepath.Join(t.TempDir(), "all.jsonl")
+	j, err := telemetry.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jopt := opt
+	jopt.Journal = j
+	SaturationSweep(spec, jopt)
+	StreamAgreement(spec, jopt) // same point labels, different result type
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := telemetry.Checkpoints(recs)
+	if want := 2 * len(opt.Levels); len(cps) != want {
+		t.Fatalf("checkpoints = %d, want %d (both experiments kept)", len(cps), want)
+	}
+
+	ropt := opt
+	ropt.Resume = cps
+	var st RunStats
+	ropt.Stats = func(s RunStats) { st = s }
+	resumed := SaturationSweep(spec, ropt)
+	if st.Cached != len(opt.Levels) {
+		t.Fatalf("cached = %d, want %d (all sweep points replayed)", st.Cached, len(opt.Levels))
+	}
+	if !reflect.DeepEqual(clean, resumed) {
+		t.Fatalf("resume replayed another experiment's checkpoints:\n%+v\n%+v", clean, resumed)
+	}
 }
 
 // TestResumeBitIdentical is the kill-and-resume acceptance criterion:

@@ -44,7 +44,7 @@ type RobustnessRow struct {
 // windows exactly.
 func RobustnessMatrix(specs []workloads.Spec, plans []faults.Plan, opt ExpOptions) []RobustnessRow {
 	opt = opt.withDefaults()
-	sp := opt.expBegin("robustness")
+	opt, sp := opt.expScope("robustness")
 	defer opt.expEnd(sp)
 	all := append([]faults.Plan{{Name: "baseline"}}, plans...)
 	nl, np := len(opt.Levels), len(all)

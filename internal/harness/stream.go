@@ -79,7 +79,7 @@ func streamAgreementLevel(spec workloads.Spec, opt ExpOptions, pc PointCtx, li i
 // Parallelism.
 func StreamAgreement(spec workloads.Spec, opt ExpOptions) StreamAgreementResult {
 	opt = opt.withDefaults()
-	sp := opt.expBegin("stream-agreement " + spec.Name)
+	opt, sp := opt.expScope("stream-agreement " + spec.Name)
 	defer opt.expEnd(sp)
 	points, st := RunPoints(opt, levelLabels(spec.Name, opt.Levels),
 		func(pc PointCtx, li int) AgreementPoint { return streamAgreementLevel(spec, opt, pc, li) })

@@ -55,6 +55,17 @@ func (o ExpOptions) expBegin(name string) *telemetry.Span {
 	return o.Journal.Begin(telemetry.KindExperiment, name)
 }
 
+// expScope opens the experiment-level span like expBegin and returns a
+// copy of o carrying name as the checkpoint namespace: RunPoints keys
+// checkpoint records and resume lookups by (experiment, label), so
+// experiments that reuse identical point labels cannot shadow each
+// other inside one journal. Drivers that fan points out through
+// RunPoints use this instead of expBegin. Pair with expEnd.
+func (o ExpOptions) expScope(name string) (ExpOptions, *telemetry.Span) {
+	o.exp = name
+	return o, o.expBegin(name)
+}
+
 // expEnd closes the experiment span, attaching the run registry's
 // cumulative snapshot (every point merged so far).
 func (o ExpOptions) expEnd(sp *telemetry.Span) {

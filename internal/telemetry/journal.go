@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -48,13 +49,14 @@ type Record struct {
 	// Checkpoint/run-header payload; zero on plain span records. Name
 	// carries the point label (checkpoints) or command name (run
 	// headers), so old readers render these records harmlessly.
-	Index    int             `json:"index,omitempty"`    // point index within its batch
-	Seed     int64           `json:"seed,omitempty"`     // root seed the result derives from
-	Attempts int             `json:"attempts,omitempty"` // supervisor attempts consumed
-	Status   string          `json:"status,omitempty"`   // CheckpointOK or CheckpointFailed
-	Error    string          `json:"error,omitempty"`    // failure rendering (status failed)
-	Args     []string        `json:"args,omitempty"`     // run header: invocation flags
-	Result   json.RawMessage `json:"result,omitempty"`   // the point's serialized value
+	Experiment string          `json:"experiment,omitempty"` // experiment scope the point belongs to
+	Index      int             `json:"index,omitempty"`      // point index within its batch
+	Seed       int64           `json:"seed,omitempty"`       // root seed the result derives from
+	Attempts   int             `json:"attempts,omitempty"`   // supervisor attempts consumed
+	Status     string          `json:"status,omitempty"`     // CheckpointOK or CheckpointFailed
+	Error      string          `json:"error,omitempty"`      // failure rendering (status failed)
+	Args       []string        `json:"args,omitempty"`       // run header: invocation flags
+	Result     json.RawMessage `json:"result,omitempty"`     // the point's serialized value
 }
 
 // Start returns the span start as a duration since journal creation.
@@ -74,13 +76,15 @@ func (r Record) Dur() time.Duration { return time.Duration(r.DurNS) }
 //   - Stream mode (NewJournal): records append to an io.Writer as they
 //     are emitted. A crash can tear the final line; ReadJournal
 //     tolerates that.
-//   - File mode (OpenJournal): the journal owns a path and persists
-//     with write-temp-then-rename. Durability-bearing records — run
-//     headers, checkpoints, experiment spans — rewrite path.tmp with
-//     the full journal and atomically rename it over path, so a reader
-//     (or a resume after SIGKILL) always observes a complete journal
-//     whose last flushed checkpoint is intact. Window/point spans
-//     buffer between flushes; losing an unflushed tail costs
+//   - File mode (OpenJournal / ResumeJournal): the journal owns an
+//     append-mode file. Durability-bearing records — run headers,
+//     checkpoints, experiment spans — append the pending tail and
+//     fsync, so after Checkpoint returns the point survives SIGKILL. A
+//     kill mid-append can tear at most the final line, which
+//     ReadJournal drops; every record behind the last fsync is intact.
+//     Each record's bytes are written exactly once, so a long sweep
+//     pays O(journal) total I/O, not O(journal^2). Window/point spans
+//     buffer between flushes; losing an unflushed span tail costs
 //     observability, never resumability.
 type Journal struct {
 	mu    sync.Mutex
@@ -88,9 +92,9 @@ type Journal struct {
 	epoch time.Time
 
 	// File mode state.
-	path string
-	buf  []byte // full JSONL contents accumulated so far
-	err  error  // first flush error, surfaced by Close
+	f       *os.File // append-mode journal file
+	pending []byte   // span records awaiting the next durable flush
+	err     error    // first write error, surfaced by Close
 }
 
 // NewJournal returns a stream-mode journal writing to w. Timestamps are
@@ -99,38 +103,87 @@ func NewJournal(w io.Writer) *Journal {
 	return &Journal{w: w, epoch: time.Now()}
 }
 
-// OpenJournal returns a file-mode journal persisted at path with
-// write-temp-then-rename atomicity (see Journal). The file is created
-// (empty) immediately so a crash before the first record still leaves
-// a readable journal.
+// OpenJournal returns a file-mode journal persisted at path (see
+// Journal). Any previous contents are truncated — a fresh run owns its
+// journal; `reqlens resume` uses ResumeJournal to preserve the run it
+// is resuming. The file is created (empty) immediately so a crash
+// before the first record still leaves a readable journal.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{path: path, epoch: time.Now()}
-	if err := j.flushLocked(); err != nil {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return nil, err
 	}
-	return j, nil
+	return &Journal{f: f, epoch: time.Now()}, nil
 }
 
-// flushLocked rewrites path.tmp with the full journal contents and
-// renames it over path. Callers hold j.mu (or have exclusive access).
-func (j *Journal) flushLocked() error {
-	tmp := j.path + ".tmp"
-	if err := os.WriteFile(tmp, j.buf, 0o644); err != nil {
-		return err
+// ResumeJournal reopens an existing journal for a resumed run: the
+// prior run's records are preserved and new records append after them.
+// The old contents are normalized once with write-temp-then-rename —
+// parsing drops a torn tail line so later appends cannot strand a
+// malformed line mid-file — and are never rewritten again. This is how
+// `reqlens resume` keeps the checkpoints it is replaying: a resumed
+// process killed before it re-checkpoints anything still leaves the
+// original run's checkpoints on disk.
+func ResumeJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	return os.Rename(tmp, j.path)
+	recs, err := ReadJournal(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, epoch: time.Now()}, nil
 }
 
-// Close flushes a file-mode journal's buffered tail and reports the
-// first error any flush hit. Stream-mode journals and nil journals
-// return nil (the caller owns the writer).
+// syncLocked appends the pending records to the file and fsyncs,
+// making everything emitted so far durable. Callers hold j.mu.
+func (j *Journal) syncLocked() {
+	if len(j.pending) > 0 {
+		if _, err := j.f.Write(j.pending); err != nil {
+			if j.err == nil {
+				j.err = err
+			}
+			return
+		}
+		j.pending = j.pending[:0]
+	}
+	if err := j.f.Sync(); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Close flushes a file-mode journal's buffered tail, closes the file,
+// and reports the first error any write hit. Stream-mode journals and
+// nil journals return nil (the caller owns the writer).
 func (j *Journal) Close() error {
-	if j == nil || j.path == "" {
+	if j == nil || j.f == nil {
 		return nil
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.flushLocked(); err != nil && j.err == nil {
+	j.syncLocked()
+	if err := j.f.Close(); err != nil && j.err == nil {
 		j.err = err
 	}
 	return j.err
@@ -150,9 +203,10 @@ func (j *Journal) RunHeader(name string, args []string) {
 
 // Checkpoint records one completed (or abandoned) point. The record's
 // Kind is forced to KindCheckpoint and its timestamp to now; everything
-// else — label in Name, Index, Seed, Status, Result or Error — is the
-// caller's. Flushed atomically in file mode, so after Checkpoint
-// returns the point survives SIGKILL. No-op on a nil journal.
+// else — label in Name, Experiment, Index, Seed, Status, Result or
+// Error — is the caller's. Appended and fsynced in file mode, so after
+// Checkpoint returns the point survives SIGKILL. No-op on a nil
+// journal.
 func (j *Journal) Checkpoint(rec Record) {
 	if j == nil {
 		return
@@ -203,16 +257,14 @@ func (j *Journal) emit(rec Record) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.path != "" {
-		j.buf = append(j.buf, line...)
-		j.buf = append(j.buf, '\n')
-		// Only durability-bearing records pay the rewrite+rename; span
+	if j.f != nil {
+		j.pending = append(j.pending, line...)
+		j.pending = append(j.pending, '\n')
+		// Only durability-bearing records pay the write+fsync; span
 		// records ride along on the next flush or Close.
 		switch rec.Kind {
 		case KindRun, KindCheckpoint, KindExperiment:
-			if err := j.flushLocked(); err != nil && j.err == nil {
-				j.err = err
-			}
+			j.syncLocked()
 		}
 		return
 	}
@@ -268,15 +320,28 @@ func LastRunHeader(recs []Record) (Record, bool) {
 	return Record{}, false
 }
 
-// Checkpoints indexes a journal's successful checkpoints by point
-// label, last record winning (a resumed run re-emits checkpoints for
-// cached points, so resume-of-resume sees a complete set). Failed
-// checkpoints are excluded — those points must re-run.
+// CheckpointKey composes the resume-map key for a checkpoint: the
+// experiment scope plus the point label. Point labels are only unique
+// within one experiment's batch — sweeps and agreement runs both label
+// points "<workload> level=X" — so a journal covering several
+// experiments (`reqlens all`) must key checkpoints by both, or a
+// later experiment's checkpoint would shadow an earlier one's and
+// resume would replay the wrong record's bytes. The separator is a NUL
+// byte, which no human-readable scope or label contains.
+func CheckpointKey(experiment, label string) string {
+	return experiment + "\x00" + label
+}
+
+// Checkpoints indexes a journal's successful checkpoints by
+// CheckpointKey(experiment, label), last record winning (a resumed run
+// re-emits checkpoints for cached points, so resume-of-resume sees a
+// complete set). Failed checkpoints are excluded — those points must
+// re-run.
 func Checkpoints(recs []Record) map[string]Record {
 	out := map[string]Record{}
 	for _, r := range recs {
 		if r.Kind == KindCheckpoint && r.Status == CheckpointOK {
-			out[r.Name] = r
+			out[CheckpointKey(r.Experiment, r.Name)] = r
 		}
 	}
 	return out

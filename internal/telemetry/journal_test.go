@@ -118,9 +118,9 @@ func TestReadJournalTornTail(t *testing.T) {
 	}
 }
 
-// TestFileJournalAtomicCheckpoints: every checkpoint leaves the on-disk
-// journal whole and parseable, and the file only ever moves forward via
-// rename (no partially written state is observable at the path).
+// TestFileJournalAtomicCheckpoints: every checkpoint is appended and
+// fsynced whole, so after each Checkpoint call the on-disk journal is
+// complete and parseable up to and including that checkpoint.
 func TestFileJournalAtomicCheckpoints(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.jsonl")
 	j, err := OpenJournal(path)
@@ -170,7 +170,7 @@ func TestFileJournalAtomicCheckpoints(t *testing.T) {
 	if len(cps) != 3 {
 		t.Fatalf("checkpoints = %v", cps)
 	}
-	cp := cps["silo level=2"]
+	cp := cps[CheckpointKey("", "silo level=2")]
 	if cp.Index != 1 || cp.Seed != 42 || string(cp.Result) != `{"v":1}` {
 		t.Fatalf("checkpoint = %+v", cp)
 	}
@@ -180,21 +180,90 @@ func TestFileJournalAtomicCheckpoints(t *testing.T) {
 	}
 }
 
-// TestCheckpointsSemantics: failed checkpoints are excluded and a later
-// checkpoint for the same label wins (resume-of-resume).
+// TestResumeJournalPreserves: reopening a journal for a resumed run
+// keeps the prior run's records on disk — before the resumed process
+// writes anything, after a simulated second kill, and with a torn tail
+// normalized away so later appends cannot strand a malformed line
+// mid-file.
+func TestResumeJournalPreserves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RunHeader("fig2", []string{"-seed", "42"})
+	j.Checkpoint(Record{Name: "a", Seed: 42, Status: CheckpointOK, Result: json.RawMessage(`{"v":1}`)})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail as a SIGKILL mid-append would.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"checkpo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := ResumeJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prior run's records must be readable immediately, before the
+	// resumed run emits anything (the second-kill crash window).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(Checkpoints(recs)) != 1 {
+		t.Fatalf("prior records lost on reopen: %+v", recs)
+	}
+
+	// New records append after the preserved ones.
+	j2.RunHeader("fig2", []string{"-seed", "42"})
+	j2.Checkpoint(Record{Name: "b", Seed: 42, Status: CheckpointOK, Result: json.RawMessage(`{"v":2}`)})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	recs, err = ReadJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("resumed journal unreadable (stranded torn line?): %v", err)
+	}
+	if len(recs) != 4 || len(Checkpoints(recs)) != 2 {
+		t.Fatalf("resumed journal = %+v", recs)
+	}
+	if hdr, ok := LastRunHeader(recs); !ok || hdr.Name != "fig2" {
+		t.Fatalf("run header = %+v, %v", hdr, ok)
+	}
+}
+
+// TestCheckpointsSemantics: failed checkpoints are excluded, a later
+// checkpoint for the same (experiment, label) wins (resume-of-resume),
+// and the same label under different experiments stays distinct — two
+// experiments in one journal must not shadow each other's results.
 func TestCheckpointsSemantics(t *testing.T) {
 	recs := []Record{
 		{Kind: KindCheckpoint, Name: "a", Status: CheckpointFailed, Error: "boom"},
 		{Kind: KindCheckpoint, Name: "b", Status: CheckpointOK, Index: 1},
 		{Kind: KindCheckpoint, Name: "b", Status: CheckpointOK, Index: 2},
+		{Kind: KindCheckpoint, Experiment: "sweep", Name: "b", Status: CheckpointOK, Index: 7},
 		{Kind: KindPoint, Name: "c"},
 	}
 	cps := Checkpoints(recs)
-	if len(cps) != 1 {
+	if len(cps) != 2 {
 		t.Fatalf("checkpoints = %v", cps)
 	}
-	if cps["b"].Index != 2 {
-		t.Fatalf("last checkpoint must win: %+v", cps["b"])
+	if cps[CheckpointKey("", "b")].Index != 2 {
+		t.Fatalf("last checkpoint must win: %+v", cps[CheckpointKey("", "b")])
+	}
+	if cps[CheckpointKey("sweep", "b")].Index != 7 {
+		t.Fatalf("experiment namespace collapsed: %+v", cps)
 	}
 	if _, ok := LastRunHeader(recs); ok {
 		t.Fatal("no run header present")

@@ -25,6 +25,10 @@
 // attaches the ring-buffer streaming observer alongside the batch probes
 // in sweep commands (fig3/fig4), and -streambytes sizes its ring (power
 // of two; 0 = the 4 MiB default — undersize it to study the drop path).
+// -backend selects the eBPF execution backend (compiled — the default —
+// or interpreter); the two produce bit-identical results, compiled is
+// ~5x faster, so the flag exists for debugging and for measuring the
+// dispatch-cost difference.
 //
 // Supervision flags (see internal/resilience) harden long sweeps:
 // -deadline D bounds each experiment point's wall clock — an overrunning
@@ -60,6 +64,7 @@ import (
 	"strings"
 	"time"
 
+	"reqlens/internal/ebpf"
 	"reqlens/internal/faults"
 	"reqlens/internal/harness"
 	"reqlens/internal/machine"
@@ -137,9 +142,16 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 	deadline := fs.Duration("deadline", 0, "per-point wall-clock budget; an overrunning point is killed and recorded as a gap (0 = none)")
 	retries := fs.Int("retries", 0, "re-run a failed point up to N times with the same derived seed")
 	chaos := fs.Bool("chaos", false, "inject a deterministic panic every 5th point and a hang every 7th (exercise supervision)")
+	backendName := fs.String("backend", "", "eBPF execution backend: auto, interpreter, or compiled (default: compiled)")
 	if err := fs.Parse(args); err != nil {
 		usage()
 	}
+	backend, err := ebpf.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ebpf.SetDefaultBackend(backend)
 
 	if cmd == "telemetry" {
 		renderJournal(*journalPath, *topN)

@@ -1,0 +1,1019 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Compile-to-closures backend. At Load time the verified instruction
+// stream is translated, one slot at a time, into a slice of pre-bound
+// Go closures (ops): every instruction field is decoded exactly once,
+// branch targets become closure indices, map handles resolve to their
+// Map values, and the common instruction forms (mov, add, compare,
+// load, store, the scalar helpers) get fully specialized closures that
+// skip the interpreter's per-step opcode switch. Execution is then a
+// tight index-advance loop: each op returns the index of its successor
+// (a captured constant for straight-line code, one of two captured
+// constants for branches) or exitOp when the program returns.
+//
+// The backend preserves the interpreter's semantics bit for bit,
+// including runtime fault messages and RunStats accounting; the
+// differential suite (differential_test.go) executes every generated
+// and fuzzed program on interpreter, compiled backend, and reference
+// evaluator and requires full-state agreement.
+//
+// Run state is pooled (vmPool): the register file, the stack, the
+// spill tracking, and the map-value region arena all live in one
+// reusable allocation, reset on every acquisition, so steady-state
+// compiled execution performs zero heap allocations. Pooled state is
+// returned only on normal completion — a panic unwinding through a run
+// (a cooperative sim.Clock timeout, chaos injection) abandons the
+// state to the garbage collector, so a recovered panic can never leak
+// one run's registers or stack into a later run (the invariant
+// resilience.Run's recovery relies on).
+
+// cop is one compiled operation: it executes against the run state and
+// returns the index of the next op, or exitOp when the program exits
+// with m.ret set.
+type cop func(m *vm) (int, error)
+
+// exitOp is the successor index meaning "program returned".
+const exitOp = -1
+
+// spillSlots is the number of 8-byte-aligned stack slots that can hold
+// a spilled pointer; the compiled backend tracks their liveness in a
+// single uint64 bitmask (spillMask) instead of the interpreter's map.
+const spillSlots = StackSize / 8
+
+// vmPool recycles compiled-backend run state across Program.Run calls.
+// It is shared process-wide: run state is program-independent (fixed
+// stack and register file; the arena grows to the busiest program's
+// per-run lookup count and stays).
+var vmPool = sync.Pool{New: func() any { return new(vm) }}
+
+// getVM acquires and resets pooled run state bound to (p, ctx, env).
+// The steady-state source is the state parked on the Program by the
+// previous run (no pool round-trip, no synchronization — Run is
+// single-goroutine per Program); vmPool backs the first run and any
+// run whose predecessor's state was abandoned by a panic. The stack
+// buffer and spill array are allocated on first use of a pooled vm and
+// retained with it; steady-state acquisition only clears them.
+func getVM(p *Program, ctx []byte, env HelperEnv) *vm {
+	m := p.rsCache
+	if m == nil {
+		m = vmPool.Get().(*vm)
+	} else {
+		p.rsCache = nil
+	}
+	if m.stackMem == nil {
+		m.stackMem = make([]byte, StackSize)
+		m.spillW = new([spillSlots]word)
+	} else if m.stackLo < StackSize {
+		clear(m.stackMem[m.stackLo:])
+	}
+	m.stackLo = StackSize
+	m.prog, m.env = p, env
+	m.steps = 0
+	m.regs = [NumRegisters]word{}
+	m.stack = region{kind: regionStack, data: m.stackMem}
+	m.ctx = region{kind: regionCtx, data: ctx, readonly: true}
+	m.stats = RunStats{}
+	m.spillMask = 0
+	m.mvArena = m.mvArena[:0]
+	m.ret = 0
+	m.pooled = true
+	m.regs[R1] = word{region: &m.ctx}
+	m.regs[R10] = word{region: &m.stack, off: StackSize}
+	return m
+}
+
+// putVM releases run state, dropping references to caller-owned memory
+// (the ctx slice, the helper env). It parks the state on the Program
+// for the next run when the slot is free, else returns it to vmPool.
+func putVM(p *Program, m *vm) {
+	m.prog, m.env = nil, nil
+	m.ctx = region{}
+	m.stack = region{}
+	if p.rsCache == nil {
+		p.rsCache = m
+		return
+	}
+	vmPool.Put(m)
+}
+
+// runCompiled executes the compiled program once against pooled run
+// state. State is recycled on normal return and on runtime faults
+// (fault errors copy what they report); it is deliberately NOT
+// recycled when a panic unwinds through the run — see the package
+// comment above.
+func (p *Program) runCompiled(ctx []byte, env HelperEnv) (uint64, RunStats, error) {
+	m := getVM(p, ctx, env)
+	ret, err := p.execCompiled(m)
+	st := m.stats
+	putVM(p, m)
+	return ret, st, err
+}
+
+// maxVMSteps is the dispatch budget shared with the interpreter's loop
+// guard; verified programs are loop-free DAGs and cannot reach it.
+const maxVMSteps = 4 * MaxInstructions
+
+// chainCap bounds the dispatch weight of one chained block, which also
+// bounds how far a block can run past the fast loop's budget guard.
+const chainCap = 16
+
+// execCompiled is the compiled dispatch loop. The fast loop dispatches
+// fused/chained ops, accounting their weight against the budget up
+// front — safe because its guard leaves more headroom than any one
+// block can consume. Within a block of the budget it falls back to the
+// unfused table with the interpreter's exact per-dispatch check, so a
+// budget fault fires at the same instruction, with the same partial
+// RunStats, on both backends. The pc bounds check mirrors the
+// interpreter's defense in depth for stray (unverified) jumps.
+func (p *Program) execCompiled(m *vm) (uint64, error) {
+	ops, weights := p.ops, p.opWeights
+	pc := 0
+	for m.steps <= maxVMSteps-2*chainCap {
+		if pc < 0 || pc >= len(ops) {
+			return 0, m.fault(pc, "pc out of range")
+		}
+		m.steps += int(weights[pc])
+		next, err := ops[pc](m)
+		if err != nil {
+			return 0, err
+		}
+		if next < 0 {
+			return m.ret, nil
+		}
+		pc = next
+	}
+	single := p.opsSingle
+	for {
+		if m.steps > maxVMSteps {
+			return 0, m.fault(pc, "instruction budget exhausted")
+		}
+		if pc < 0 || pc >= len(single) {
+			return 0, m.fault(pc, "pc out of range")
+		}
+		next, err := single[pc](m)
+		m.steps++
+		if err != nil {
+			return 0, err
+		}
+		if next < 0 {
+			return m.ret, nil
+		}
+		pc = next
+	}
+}
+
+// setR0Scalar installs a helper's scalar return value and clobbers the
+// caller-saved argument registers, as vm.call does.
+func (m *vm) setR0Scalar(v uint64) {
+	m.regs[R0] = word{scalar: v}
+	for reg := R1; reg <= R5; reg++ {
+		m.regs[reg] = word{}
+	}
+}
+
+// setR0Word is setR0Scalar for non-scalar returns (map-value pointers).
+func (m *vm) setR0Word(w word) {
+	m.regs[R0] = w
+	for reg := R1; reg <= R5; reg++ {
+		m.regs[reg] = word{}
+	}
+}
+
+// cstore is the compiled backend's store primitive: identical to
+// vm.store except that overlapping spill-slot invalidation clears bits
+// in spillMask instead of deleting from the interpreter's spill map.
+func (m *vm) cstore(pc int, base word, off int64, size int, v uint64) error {
+	if base.region != nil && base.region.readonly {
+		return m.fault(pc, "store to read-only %s", base.region.kind)
+	}
+	data, ok := fastSlice(base, off, size)
+	if !ok {
+		var err error
+		data, err = m.slice(pc, base, off, size)
+		if err != nil {
+			return err
+		}
+	}
+	if base.region != nil && base.region.kind == regionStack {
+		start := base.off + off // in-bounds after slice: 0 <= start < StackSize
+		if start < m.stackLo {
+			m.stackLo = start
+		}
+		if m.spillMask != 0 {
+			lo := uint64(start) >> 3
+			hi := uint64(start+int64(size)-1) >> 3
+			for s := lo; s <= hi && s < spillSlots; s++ {
+				m.spillMask &^= 1 << s
+			}
+		}
+	}
+	switch size {
+	case 1:
+		data[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(data, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(data, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(data, v)
+	}
+	return nil
+}
+
+// compileProgram translates a verified instruction stream into its op
+// slice. It never fails for verifier-accepted programs; statically
+// malformed slots (a truncated wide load, the second slot of a wide
+// pair reached as a jump target) compile to ops that reproduce the
+// interpreter's runtime fault, keeping the two backends' observable
+// behavior identical even for programs that bypass the verifier.
+func compileProgram(insns []Instruction, maps map[int32]Map) (fast, single []cop, weights []uint16) {
+	n := len(insns)
+	single = make([]cop, n)
+	wideSecond := make([]bool, n)
+	for pc := 0; pc < n; pc++ {
+		if insns[pc].IsWideLoad() && pc+1 < n && !wideSecond[pc] {
+			wideSecond[pc+1] = true
+		}
+	}
+	// isTarget marks slots some jump can land on. Fused pairs and
+	// chained blocks hide their non-leader members from dispatch, which
+	// is only sound when nothing can enter a block in the middle — and
+	// eBPF has no indirect jumps, so the static target set is exact.
+	isTarget := make([]bool, n)
+	for pc, in := range insns {
+		if wideSecond[pc] {
+			continue
+		}
+		switch in.Class() {
+		case ClassJMP, ClassJMP32:
+			switch in.JmpOp() {
+			case JmpCall, JmpExit:
+			default:
+				if t := pc + 1 + int(in.Off); t >= 0 && t < n {
+					isTarget[t] = true
+				}
+			}
+		}
+	}
+	for pc := range insns {
+		if wideSecond[pc] {
+			// Reached only as a stray jump target; the interpreter
+			// decodes the slot as a malformed ClassLD.
+			pc := pc
+			single[pc] = func(m *vm) (int, error) {
+				m.stats.Instructions++
+				return 0, m.fault(pc, "invalid LD instruction")
+			}
+			continue
+		}
+		single[pc] = compileOne(insns, pc, maps)
+	}
+
+	// Fusion pass: replace recognized pairs with one op of dispatch
+	// weight 2. The member slots keep their single ops (unreachable —
+	// fusePair refuses jump targets — but they keep the table total and
+	// serve the slow table).
+	fast = make([]cop, n)
+	copy(fast, single)
+	weights = make([]uint16, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	fusedAt := make([]bool, n)
+	consumed := make([]bool, n)
+	for pc := 0; pc < n; pc++ {
+		if wideSecond[pc] || consumed[pc] {
+			continue
+		}
+		if op := fusePair(insns, pc, wideSecond, isTarget); op != nil {
+			fast[pc] = op
+			weights[pc] = 2
+			fusedAt[pc] = true
+			consumed[pc+1] = true
+		}
+	}
+
+	// Chaining pass: collapse each maximal straight-line run into one
+	// left-nested closure. The payoff is branch prediction: the
+	// dispatch loop's single indirect call site changes target every
+	// step and mispredicts chronically, while every call site inside a
+	// chain has exactly one target for the program's lifetime.
+	width := func(pc int) int {
+		if fusedAt[pc] {
+			return 2
+		}
+		if in := insns[pc]; in.Class() == ClassLD && in.IsWideLoad() && pc+1 < n {
+			return 2
+		}
+		return 1
+	}
+	// isTerm reports whether the op at pc can leave the straight line:
+	// branches, exits, and the fused mov+exit epilogue.
+	isTerm := func(pc int) bool {
+		in := insns[pc]
+		if fusedAt[pc] {
+			nx := insns[pc+1]
+			return nx.Class() == ClassJMP && nx.JmpOp() == JmpExit
+		}
+		switch in.Class() {
+		case ClassJMP32:
+			return true
+		case ClassJMP:
+			return in.JmpOp() != JmpCall
+		}
+		return false
+	}
+	for pc := 0; pc < n; {
+		if wideSecond[pc] || consumed[pc] {
+			pc++
+			continue
+		}
+		start := pc
+		chain := fast[pc]
+		cw := int(weights[pc])
+		cur := pc
+		for {
+			if isTerm(cur) {
+				cur += width(cur)
+				break
+			}
+			succ := cur + width(cur)
+			if succ >= n || isTarget[succ] || cw >= chainCap {
+				cur = succ
+				break
+			}
+			chain = combine(chain, fast[succ], succ)
+			cw += int(weights[succ])
+			cur = succ
+		}
+		if cur-start > width(start) {
+			fast[start] = chain
+			weights[start] = uint16(cw)
+		}
+		pc = cur
+	}
+	return fast, single, weights
+}
+
+// combine chains two consecutive straight-line ops into one closure.
+// The mid-chain `n != yIdx` guard is defensive: a non-terminal member
+// always returns its static successor or an error.
+func combine(x, y cop, yIdx int) cop {
+	return func(m *vm) (int, error) {
+		n, err := x(m)
+		if err != nil || n != yIdx {
+			return n, err
+		}
+		return y(m)
+	}
+}
+
+// fusePair recognizes the two hottest straight-line pairs and compiles
+// them into a single op (one dispatch for two slots):
+//
+//   - mov64 dst, src ; add64 dst, imm — the pointer-materialization
+//     idiom (mov rX, r10; add rX, -off) every map call leads with;
+//   - call <env helper> ; mov64 dst, r0 — capturing a timestamp or
+//     pid/tgid into a callee-saved register.
+//
+// Fusion preserves per-slot RunStats accounting and the interpreter's
+// fault points: the mov half is applied before the add half can fault.
+// It returns nil when the slots at pc do not match or the second slot
+// is a jump target.
+func fusePair(insns []Instruction, pc int, wideSecond, isTarget []bool) cop {
+	if pc+1 >= len(insns) || wideSecond[pc+1] || isTarget[pc+1] {
+		return nil
+	}
+	a, b := insns[pc], insns[pc+1]
+	next := pc + 2
+	if a.Class() == ClassALU64 && a.ALUOp() == ALUMov && !a.UsesImm() &&
+		b.Class() == ClassALU64 && b.ALUOp() == ALUAdd && b.UsesImm() && b.Dst == a.Dst {
+		dst, src := a.Dst, a.Src
+		k := int64(b.Imm)
+		faultPC := pc + 1
+		return func(m *vm) (int, error) {
+			m.stats.Instructions += 2
+			d := m.regs[src]
+			switch {
+			case d.region == nil && d.m == nil:
+				d.scalar += uint64(k)
+			case d.region != nil:
+				d.off += k
+			default:
+				m.regs[dst] = d // the mov executed before the add faulted
+				return 0, m.fault(faultPC, "arithmetic on map handle")
+			}
+			m.regs[dst] = d
+			return next, nil
+		}
+	}
+	if a.Class() == ClassALU64 && a.ALUOp() == ALUMov && a.UsesImm() && a.Dst == R0 &&
+		b.Class() == ClassJMP && b.JmpOp() == JmpExit {
+		k := uint64(int64(a.Imm))
+		return func(m *vm) (int, error) {
+			m.stats.Instructions += 2
+			m.regs[R0] = word{scalar: k}
+			m.ret = k
+			return exitOp, nil
+		}
+	}
+	if a.Class() == ClassJMP && a.JmpOp() == JmpCall &&
+		b.Class() == ClassALU64 && b.ALUOp() == ALUMov && !b.UsesImm() && b.Src == R0 {
+		dst := b.Dst
+		switch a.Imm {
+		case HelperKtimeGetNS:
+			return func(m *vm) (int, error) {
+				m.stats.Instructions += 2
+				m.stats.HelperCalls++
+				m.setR0Scalar(m.env.KtimeGetNS())
+				m.regs[dst] = m.regs[R0]
+				return next, nil
+			}
+		case HelperGetCurrentPidTgid:
+			return func(m *vm) (int, error) {
+				m.stats.Instructions += 2
+				m.stats.HelperCalls++
+				m.setR0Scalar(m.env.CurrentPidTgid())
+				m.regs[dst] = m.regs[R0]
+				return next, nil
+			}
+		case HelperGetSMPProcID:
+			return func(m *vm) (int, error) {
+				m.stats.Instructions += 2
+				m.stats.HelperCalls++
+				m.setR0Scalar(uint64(m.env.SMPProcessorID()))
+				m.regs[dst] = m.regs[R0]
+				return next, nil
+			}
+		}
+	}
+	return nil
+}
+
+// compileOne builds the op for the instruction at pc.
+func compileOne(insns []Instruction, pc int, maps map[int32]Map) cop {
+	in := insns[pc]
+	next := pc + 1
+	switch in.Class() {
+	case ClassALU64:
+		return compileALU(in, pc, next, false)
+	case ClassALU:
+		return compileALU(in, pc, next, true)
+	case ClassLD:
+		return compileWideLoad(insns, pc, maps)
+	case ClassLDX:
+		return compileLoad(in, pc, next)
+	case ClassSTX:
+		if in.Op&0xe0 == ModeAtomic {
+			return compileAtomic(in, pc, next)
+		}
+		return compileStoreReg(in, pc, next)
+	case ClassST:
+		return compileStoreImm(in, pc, next)
+	case ClassJMP32:
+		return compileBranch(in, pc, next, true)
+	case ClassJMP:
+		switch in.JmpOp() {
+		case JmpExit:
+			return func(m *vm) (int, error) {
+				m.stats.Instructions++
+				r0 := m.regs[R0]
+				if r0.region != nil || r0.m != nil {
+					return 0, m.fault(pc, "exit with non-scalar R0")
+				}
+				m.ret = r0.scalar
+				return exitOp, nil
+			}
+		case JmpCall:
+			return compileCall(in, pc, next)
+		case JmpJA:
+			tgt := pc + 1 + int(in.Off)
+			return func(m *vm) (int, error) {
+				m.stats.Instructions++
+				return tgt, nil
+			}
+		default:
+			return compileBranch(in, pc, next, false)
+		}
+	}
+	op := in.Op
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		return 0, m.fault(pc, "unsupported class %#x", op&0x07)
+	}
+}
+
+// compileALU specializes the hot ALU forms (mov and add in both
+// operand modes) and falls back to the interpreter's generic vm.alu
+// for the rest — the decode, not the semantics, is what the
+// compilation pass removes.
+func compileALU(in Instruction, pc, next int, is32 bool) cop {
+	dst, src := in.Dst, in.Src
+	switch {
+	case !is32 && in.ALUOp() == ALUMov && in.UsesImm():
+		k := uint64(int64(in.Imm))
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.regs[dst] = word{scalar: k}
+			return next, nil
+		}
+	case !is32 && in.ALUOp() == ALUMov && !in.UsesImm():
+		// 64-bit register mov copies scalars, pointers, and map
+		// handles alike, exactly as every interpreter path does.
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.regs[dst] = m.regs[src]
+			return next, nil
+		}
+	case is32 && in.ALUOp() == ALUMov && in.UsesImm():
+		k := uint64(uint32(in.Imm))
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			d := m.regs[dst]
+			if d.region != nil {
+				return 0, m.fault(pc, "32-bit ALU on pointer")
+			}
+			if d.m != nil {
+				return 0, m.fault(pc, "arithmetic on map handle")
+			}
+			m.regs[dst] = word{scalar: k}
+			return next, nil
+		}
+	case !is32 && in.ALUOp() == ALUAdd && in.UsesImm():
+		k := int64(in.Imm)
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			d := &m.regs[dst]
+			switch {
+			case d.region == nil && d.m == nil:
+				d.scalar += uint64(k)
+			case d.region != nil:
+				d.off += k
+			default:
+				return 0, m.fault(pc, "arithmetic on map handle")
+			}
+			return next, nil
+		}
+	case !is32 && in.ALUOp() == ALUAdd && !in.UsesImm():
+		inCopy := in
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			d, s := &m.regs[dst], m.regs[src]
+			if d.region == nil && d.m == nil && s.region == nil && s.m == nil {
+				d.scalar += s.scalar
+				return next, nil
+			}
+			if err := m.alu(pc, inCopy, false); err != nil {
+				return 0, err
+			}
+			return next, nil
+		}
+	}
+	inCopy := in
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		if err := m.alu(pc, inCopy, is32); err != nil {
+			return 0, err
+		}
+		return next, nil
+	}
+}
+
+// compileWideLoad handles LdImmDW pairs: 64-bit constants materialize
+// as a captured scalar, map fds resolve to the Map handle at compile
+// time. Both count two instruction slots, as the interpreter does.
+func compileWideLoad(insns []Instruction, pc int, maps map[int32]Map) cop {
+	in := insns[pc]
+	if !in.IsWideLoad() || pc+1 >= len(insns) {
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			return 0, m.fault(pc, "invalid LD instruction")
+		}
+	}
+	dst, next := in.Dst, pc+2
+	if in.Src == PseudoMapFD {
+		mp, ok := maps[in.Imm]
+		if !ok {
+			fd := in.Imm
+			return func(m *vm) (int, error) {
+				m.stats.Instructions++
+				return 0, m.fault(pc, "unknown map fd %d", fd)
+			}
+		}
+		return func(m *vm) (int, error) {
+			m.stats.Instructions += 2
+			m.regs[dst] = word{m: mp}
+			return next, nil
+		}
+	}
+	v := uint64(uint32(in.Imm)) | uint64(uint32(insns[pc+1].Imm))<<32
+	return func(m *vm) (int, error) {
+		m.stats.Instructions += 2
+		m.regs[dst] = word{scalar: v}
+		return next, nil
+	}
+}
+
+// compileLoad builds a ClassLDX op, specialized on the (static) access
+// width so the decode is a single fixed-width read. An aligned 8-byte
+// load from a live spill slot restores the spilled word (checked
+// against spillMask); anything else reads raw bytes. Out-of-bounds or
+// non-pointer bases fall back to vm.load for the interpreter's exact
+// fault.
+func compileLoad(in Instruction, pc, next int) cop {
+	dst, src := in.Dst, in.Src
+	off := int64(in.Off)
+	size := in.Size()
+	switch size {
+	case 8:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			base := m.regs[src]
+			if base.region != nil && base.region.kind == regionStack {
+				if start := base.off + off; start&7 == 0 {
+					if idx := uint64(start) >> 3; idx < spillSlots && m.spillMask&(1<<idx) != 0 {
+						m.regs[dst] = m.spillW[idx]
+						return next, nil
+					}
+				}
+			}
+			if data, ok := fastSlice(base, off, 8); ok {
+				m.regs[dst] = word{scalar: binary.LittleEndian.Uint64(data)}
+				return next, nil
+			}
+			v, err := m.load(pc, base, off, size)
+			if err != nil {
+				return 0, err
+			}
+			m.regs[dst] = word{scalar: v}
+			return next, nil
+		}
+	case 4:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			base := m.regs[src]
+			if data, ok := fastSlice(base, off, 4); ok {
+				m.regs[dst] = word{scalar: uint64(binary.LittleEndian.Uint32(data))}
+				return next, nil
+			}
+			v, err := m.load(pc, base, off, size)
+			if err != nil {
+				return 0, err
+			}
+			m.regs[dst] = word{scalar: v}
+			return next, nil
+		}
+	case 2:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			base := m.regs[src]
+			if data, ok := fastSlice(base, off, 2); ok {
+				m.regs[dst] = word{scalar: uint64(binary.LittleEndian.Uint16(data))}
+				return next, nil
+			}
+			v, err := m.load(pc, base, off, size)
+			if err != nil {
+				return 0, err
+			}
+			m.regs[dst] = word{scalar: v}
+			return next, nil
+		}
+	default:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			base := m.regs[src]
+			if data, ok := fastSlice(base, off, 1); ok {
+				m.regs[dst] = word{scalar: uint64(data[0])}
+				return next, nil
+			}
+			v, err := m.load(pc, base, off, size)
+			if err != nil {
+				return 0, err
+			}
+			m.regs[dst] = word{scalar: v}
+			return next, nil
+		}
+	}
+}
+
+// compileStoreReg builds a non-atomic ClassSTX op. Whether the source
+// register holds a scalar or a pointer is a runtime property, so the
+// op decides between a raw store and a spill per execution.
+func compileStoreReg(in Instruction, pc, next int) cop {
+	dst, src := in.Dst, in.Src
+	off := int64(in.Off)
+	size := in.Size()
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		s := m.regs[src]
+		if s.region == nil && s.m == nil {
+			base := m.regs[dst]
+			// Inline the hot form — an in-bounds 8-byte scalar store to
+			// writable memory — and leave every other shape to cstore.
+			if size == 8 && base.region != nil && !base.region.readonly {
+				if data, ok := fastSlice(base, off, 8); ok {
+					if base.region.kind == regionStack {
+						start := base.off + off
+						if start < m.stackLo {
+							m.stackLo = start
+						}
+						if m.spillMask != 0 {
+							lo := uint64(start) >> 3
+							hi := uint64(start+7) >> 3
+							for sl := lo; sl <= hi && sl < spillSlots; sl++ {
+								m.spillMask &^= 1 << sl
+							}
+						}
+					}
+					binary.LittleEndian.PutUint64(data, s.scalar)
+					return next, nil
+				}
+			}
+			if err := m.cstore(pc, base, off, size, s.scalar); err != nil {
+				return 0, err
+			}
+			return next, nil
+		}
+		// Pointer/handle spill: verifier-restricted to aligned 8-byte
+		// stack slots; the raw bytes hold the word's region offset.
+		base := m.regs[dst]
+		if base.region == nil || base.region.kind != regionStack || size != 8 {
+			return 0, m.fault(pc, "pointer can only be spilled to an aligned 8-byte stack slot")
+		}
+		start := base.off + off
+		if start%8 != 0 {
+			return 0, m.fault(pc, "pointer spill must be 8-byte aligned")
+		}
+		if err := m.cstore(pc, base, off, 8, uint64(s.off)); err != nil {
+			return 0, err
+		}
+		if s.region != nil {
+			idx := uint64(start) >> 3
+			m.spillW[idx] = s
+			m.spillMask |= 1 << idx
+		}
+		return next, nil
+	}
+}
+
+// compileStoreImm builds a ClassST op.
+func compileStoreImm(in Instruction, pc, next int) cop {
+	dst := in.Dst
+	off := int64(in.Off)
+	size := in.Size()
+	v := uint64(int64(in.Imm))
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		if err := m.cstore(pc, m.regs[dst], off, size, v); err != nil {
+			return 0, err
+		}
+		return next, nil
+	}
+}
+
+// compileAtomic builds a BPF_ATOMIC STX op (AtomicAdd). Statically
+// invalid forms compile to ops reproducing the interpreter's faults.
+func compileAtomic(in Instruction, pc, next int) cop {
+	if in.Imm != AtomicAdd {
+		imm := in.Imm
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			s := m.regs[in.Src]
+			if s.region != nil || s.m != nil {
+				return 0, m.fault(pc, "atomic add of a pointer")
+			}
+			return 0, m.fault(pc, "unsupported atomic op %#x", imm)
+		}
+	}
+	dst, src := in.Dst, in.Src
+	off := int64(in.Off)
+	size := in.Size()
+	if size != 4 && size != 8 {
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			s := m.regs[src]
+			if s.region != nil || s.m != nil {
+				return 0, m.fault(pc, "atomic add of a pointer")
+			}
+			return 0, m.fault(pc, "atomic add requires 4- or 8-byte width")
+		}
+	}
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		s := m.regs[src]
+		if s.region != nil || s.m != nil {
+			return 0, m.fault(pc, "atomic add of a pointer")
+		}
+		base := m.regs[dst]
+		if base.region != nil && base.region.readonly {
+			return 0, m.fault(pc, "atomic on read-only %s", base.region.kind)
+		}
+		cur, err := m.load(pc, base, off, size)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.cstore(pc, base, off, size, cur+s.scalar); err != nil {
+			return 0, err
+		}
+		return next, nil
+	}
+}
+
+// compileBranch builds a conditional jump with both successor indices
+// resolved. The all-scalar immediate compares — the null checks and
+// syscall filters every probe leads with — run fully specialized; the
+// pointer-comparison and register-operand forms reuse vm.branch.
+func compileBranch(in Instruction, pc, next int, is32 bool) cop {
+	tgt := pc + 1 + int(in.Off)
+	if !is32 && in.UsesImm() {
+		dst := in.Dst
+		k := uint64(int64(in.Imm))
+		switch in.JmpOp() {
+		case JmpJEQ:
+			return func(m *vm) (int, error) {
+				m.stats.Instructions++
+				d := m.regs[dst]
+				if d.region == nil && d.m == nil {
+					if d.scalar == k {
+						return tgt, nil
+					}
+					return next, nil
+				}
+				return m.branchSlow(pc, in, tgt, next)
+			}
+		case JmpJNE:
+			return func(m *vm) (int, error) {
+				m.stats.Instructions++
+				d := m.regs[dst]
+				if d.region == nil && d.m == nil {
+					if d.scalar != k {
+						return tgt, nil
+					}
+					return next, nil
+				}
+				return m.branchSlow(pc, in, tgt, next)
+			}
+		}
+	}
+	inCopy := in
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		return m.branchSlow(pc, inCopy, tgt, next)
+	}
+}
+
+// branchSlow evaluates a branch through the interpreter's generic
+// vm.branch and maps taken/not-taken onto the compiled indices.
+func (m *vm) branchSlow(pc int, in Instruction, tgt, next int) (int, error) {
+	taken, err := m.branch(pc, in)
+	if err != nil {
+		return 0, err
+	}
+	if taken {
+		return tgt, nil
+	}
+	return next, nil
+}
+
+// compileCall specializes the three ambient-state helpers (no
+// arguments beyond the env, scalar return); map and ringbuf helpers
+// keep the interpreter's vm.call, which routes map-value regions
+// through the pooled arena when run state is pooled.
+func compileCall(in Instruction, pc, next int) cop {
+	switch in.Imm {
+	case HelperKtimeGetNS:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.setR0Scalar(m.env.KtimeGetNS())
+			return next, nil
+		}
+	case HelperGetCurrentPidTgid:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.setR0Scalar(m.env.CurrentPidTgid())
+			return next, nil
+		}
+	case HelperGetSMPProcID:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.setR0Scalar(uint64(m.env.SMPProcessorID()))
+			return next, nil
+		}
+	case HelperMapLookupElem:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.stats.MapOps++
+			mp := m.regs[R1].m
+			if mp == nil {
+				return 0, m.fault(pc, "map_lookup_elem: R1 is not a map")
+			}
+			key, ok := fastSlice(m.regs[R2], 0, mp.KeySize())
+			if !ok {
+				var err error
+				key, err = m.slice(pc, m.regs[R2], 0, mp.KeySize())
+				if err != nil {
+					return 0, err
+				}
+			}
+			v, ok := mp.Lookup(key)
+			if !ok {
+				m.setR0Scalar(0)
+				return next, nil
+			}
+			m.setR0Word(word{region: m.mapValRegion(v)})
+			return next, nil
+		}
+	case HelperMapUpdateElem:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.stats.MapOps++
+			mp := m.regs[R1].m
+			if mp == nil {
+				return 0, m.fault(pc, "map_update_elem: R1 is not a map")
+			}
+			// Devirtualize the dominant map type so the size reads and
+			// the update are direct calls.
+			var ks, vs int
+			hm, isHash := mp.(*HashMap)
+			if isHash {
+				ks, vs = hm.keySize, hm.valueSize
+			} else {
+				ks, vs = mp.KeySize(), mp.ValueSize()
+			}
+			key, ok := fastSlice(m.regs[R2], 0, ks)
+			if !ok {
+				var err error
+				key, err = m.slice(pc, m.regs[R2], 0, ks)
+				if err != nil {
+					return 0, err
+				}
+			}
+			val, ok := fastSlice(m.regs[R3], 0, vs)
+			if !ok {
+				var err error
+				val, err = m.slice(pc, m.regs[R3], 0, vs)
+				if err != nil {
+					return 0, err
+				}
+			}
+			flags := m.regs[R4]
+			if !flags.isScalar() {
+				return 0, m.fault(pc, "map_update_elem: flags not scalar")
+			}
+			var err error
+			if isHash {
+				err = hm.Update(key, val, int(flags.scalar))
+			} else {
+				err = mp.Update(key, val, int(flags.scalar))
+			}
+			if err != nil {
+				m.setR0Scalar(^uint64(0)) // -EEXIST and friends collapse to -1
+				return next, nil
+			}
+			m.setR0Scalar(0)
+			return next, nil
+		}
+	case HelperMapDeleteElem:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.stats.MapOps++
+			mp := m.regs[R1].m
+			if mp == nil {
+				return 0, m.fault(pc, "map_delete_elem: R1 is not a map")
+			}
+			key, ok := fastSlice(m.regs[R2], 0, mp.KeySize())
+			if !ok {
+				var err error
+				key, err = m.slice(pc, m.regs[R2], 0, mp.KeySize())
+				if err != nil {
+					return 0, err
+				}
+			}
+			if err := mp.Delete(key); err != nil {
+				m.setR0Scalar(^uint64(0))
+				return next, nil
+			}
+			m.setR0Scalar(0)
+			return next, nil
+		}
+	}
+	id := in.Imm
+	return func(m *vm) (int, error) {
+		m.stats.Instructions++
+		if err := m.call(pc, id); err != nil {
+			return 0, err
+		}
+		return next, nil
+	}
+}

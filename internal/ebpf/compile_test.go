@@ -1,0 +1,236 @@
+package ebpf
+
+import (
+	"testing"
+)
+
+func TestBackendString(t *testing.T) {
+	cases := []struct {
+		b    Backend
+		want string
+	}{
+		{BackendAuto, "auto"},
+		{BackendInterpreter, "interpreter"},
+		{BackendCompiled, "compiled"},
+		{Backend(9), "backend(9)"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("Backend(%d).String() = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, s := range []string{"auto", "interpreter", "compiled", ""} {
+		b, err := ParseBackend(s)
+		if err != nil {
+			t.Fatalf("ParseBackend(%q): %v", s, err)
+		}
+		if s != "" && b.String() != s {
+			t.Errorf("ParseBackend(%q) = %v, not a round-trip", s, b)
+		}
+	}
+	if _, err := ParseBackend("jit"); err == nil {
+		t.Fatal("ParseBackend accepted an unknown backend name")
+	}
+}
+
+func TestSetDefaultBackendRestore(t *testing.T) {
+	prev := SetDefaultBackend(BackendInterpreter)
+	defer SetDefaultBackend(prev)
+	if DefaultBackend() != BackendInterpreter {
+		t.Fatal("SetDefaultBackend did not take effect")
+	}
+	p := MustLoad(ProgramSpec{Name: "d", Insns: []Instruction{Mov64Imm(R0, 1), Exit()}, CtxSize: 0})
+	if p.Backend() != BackendInterpreter {
+		t.Fatalf("BackendAuto resolved to %v, want interpreter", p.Backend())
+	}
+	if SetDefaultBackend(BackendAuto); DefaultBackend() != BackendCompiled {
+		t.Fatal("SetDefaultBackend(BackendAuto) did not restore the built-in default")
+	}
+}
+
+// runBothBackends loads insns once per backend (fresh maps each) and
+// requires identical return values and stats. It returns the shared
+// result.
+func runBothBackends(t *testing.T, insns []Instruction, mkMaps func() map[int32]Map, ctxSize int, ctx []byte) (uint64, RunStats) {
+	t.Helper()
+	env := &FixedEnv{TimeNS: 5, PidTgid: 99<<32 | 3, CPU: 1}
+	var rets [2]uint64
+	var stats [2]RunStats
+	for i, backend := range []Backend{BackendInterpreter, BackendCompiled} {
+		var maps map[int32]Map
+		if mkMaps != nil {
+			maps = mkMaps()
+		}
+		p, err := Load(ProgramSpec{Name: "parity", Insns: insns, Maps: maps, CtxSize: ctxSize, Backend: backend})
+		if err != nil {
+			t.Fatalf("load (%v): %v", backend, err)
+		}
+		rets[i], stats[i], err = p.Run(ctx, env)
+		if err != nil {
+			t.Fatalf("run (%v): %v", backend, err)
+		}
+	}
+	if rets[0] != rets[1] {
+		t.Fatalf("return: interpreter %#x, compiled %#x\n%s", rets[0], rets[1], Disassemble(insns))
+	}
+	if stats[0] != stats[1] {
+		t.Fatalf("stats: interpreter %+v, compiled %+v\n%s", stats[0], stats[1], Disassemble(insns))
+	}
+	return rets[0], stats[0]
+}
+
+// TestCompiledFusionParity pins the pair-fusion peepholes (lea idiom,
+// call+mov, mov+exit) to interpreter-identical results and stats.
+func TestCompiledFusionParity(t *testing.T) {
+	// mov64 r0, imm + exit — the fused epilogue.
+	ret, st := runBothBackends(t, []Instruction{Mov64Imm(R0, 42), Exit()}, nil, 0, nil)
+	if ret != 42 || st.Instructions != 2 {
+		t.Fatalf("fused mov+exit: ret %d stats %+v", ret, st)
+	}
+
+	// call env-helper + mov64 dst, r0 — the fused result capture.
+	ret, st = runBothBackends(t, []Instruction{
+		Call(HelperKtimeGetNS),
+		Mov64Reg(R7, R0),
+		Mov64Reg(R0, R7),
+		Exit(),
+	}, nil, 0, nil)
+	if ret != 5 || st.HelperCalls != 1 {
+		t.Fatalf("fused call+mov: ret %d stats %+v", ret, st)
+	}
+
+	// mov64 reg + add64 imm — the lea idiom feeding a map key pointer.
+	ret, _ = runBothBackends(t, []Instruction{
+		StoreImm(R10, -8, 7, SizeDW),
+		StoreImm(R10, -16, 123, SizeDW),
+		LoadMapFD(R1, 1)[0], LoadMapFD(R1, 1)[1],
+		Mov64Reg(R2, R10), Add64Imm(R2, -8),
+		Mov64Reg(R3, R10), Add64Imm(R3, -16),
+		Mov64Imm(R4, 0),
+		Call(HelperMapUpdateElem),
+		LoadMapFD(R1, 1)[0], LoadMapFD(R1, 1)[1],
+		Mov64Reg(R2, R10), Add64Imm(R2, -8),
+		Call(HelperMapLookupElem),
+		JmpImm(JmpJEQ, R0, 0, 1),
+		LoadMem(R0, R0, 0, SizeDW),
+		Exit(),
+	}, diffMaps, 0, nil)
+	if ret != 123 {
+		t.Fatalf("fused lea + map round-trip: ret %d, want 123", ret)
+	}
+}
+
+// TestCompiledJumpIntoPairParity covers the fusion guard: when a branch
+// targets what would be the second half of a fused pair, the pair must
+// stay unfused and the jump must land exactly there.
+func TestCompiledJumpIntoPairParity(t *testing.T) {
+	ret, st := runBothBackends(t, []Instruction{
+		Mov64Imm(R0, 5),
+		Mov64Imm(R7, 0),
+		JmpImm(JmpJEQ, R7, 0, 1), // taken: lands on the Exit below
+		Mov64Imm(R0, 1),          // would-be first half of a mov+exit pair
+		Exit(),                   // branch target: must stay unfused
+	}, nil, 0, nil)
+	if ret != 5 {
+		t.Fatalf("jump into pair: ret %d, want 5 (branch must skip the mov)", ret)
+	}
+	if st.Instructions != 4 {
+		t.Fatalf("jump into pair: %d instructions, want 4", st.Instructions)
+	}
+}
+
+// TestCompiledSpillParity runs the pointer spill/restore idiom on both
+// backends.
+func TestCompiledSpillParity(t *testing.T) {
+	ctx := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	ret, _ := runBothBackends(t, []Instruction{
+		Mov64Reg(R6, R1),
+		StoreMem(R10, -8, R6, SizeDW),
+		LoadMem(R2, R10, -8, SizeDW),
+		LoadMem(R0, R2, 0, SizeDW),
+		Exit(),
+	}, nil, len(ctx), ctx)
+	if want := uint64(0x0807060504030201); ret != want {
+		t.Fatalf("spill/restore: ret %#x, want %#x", ret, want)
+	}
+}
+
+// TestCompiledAtomicParity runs atomic adds (both widths) on both
+// backends.
+func TestCompiledAtomicParity(t *testing.T) {
+	ret, _ := runBothBackends(t, []Instruction{
+		StoreImm(R10, -8, 10, SizeDW),
+		Mov64Imm(R3, 32),
+		AtomicAdd64(R10, -8, R3),
+		Mov64Imm(R4, 100),
+		AtomicAdd32(R10, -4, R4),
+		LoadMem(R0, R10, -8, SizeDW),
+		Exit(),
+	}, nil, 0, nil)
+	want := uint64(10+32) | uint64(100)<<32
+	if ret != want {
+		t.Fatalf("atomic adds: ret %#x, want %#x", ret, want)
+	}
+}
+
+// TestCompiledRunReusesState verifies the per-Program run-state cache:
+// after a run the vm parks on the Program, and the next run picks the
+// same instance back up instead of allocating.
+func TestCompiledRunReusesState(t *testing.T) {
+	p := MustLoad(ProgramSpec{Name: "reuse", Insns: []Instruction{
+		StoreImm(R10, -8, 7, SizeDW),
+		LoadMem(R0, R10, -8, SizeDW),
+		Exit(),
+	}, CtxSize: 0, Backend: BackendCompiled})
+	if _, _, err := p.Run(nil, &FixedEnv{}); err != nil {
+		t.Fatal(err)
+	}
+	parked := p.rsCache
+	if parked == nil {
+		t.Fatal("no run state parked on the Program after a run")
+	}
+	if _, _, err := p.Run(nil, &FixedEnv{}); err != nil {
+		t.Fatal(err)
+	}
+	if p.rsCache != parked {
+		t.Fatal("second run did not recycle the parked state")
+	}
+}
+
+// TestCompiledRunZeroAllocs pins the compiled hot path — including a
+// hash-map update and lookup, so map scratch buffers are exercised — at
+// zero allocations per run once the Program's run state is warm.
+func TestCompiledRunZeroAllocs(t *testing.T) {
+	maps := map[int32]Map{1: NewHashMap("h", 8, 8, 4)}
+	p := MustLoad(ProgramSpec{Name: "hot", Insns: []Instruction{
+		Call(HelperKtimeGetNS),
+		StoreMem(R10, -16, R0, SizeDW),
+		StoreImm(R10, -8, 7, SizeDW),
+		LoadMapFD(R1, 1)[0], LoadMapFD(R1, 1)[1],
+		Mov64Reg(R2, R10), Add64Imm(R2, -8),
+		Mov64Reg(R3, R10), Add64Imm(R3, -16),
+		Mov64Imm(R4, 0),
+		Call(HelperMapUpdateElem),
+		LoadMapFD(R1, 1)[0], LoadMapFD(R1, 1)[1],
+		Mov64Reg(R2, R10), Add64Imm(R2, -8),
+		Call(HelperMapLookupElem),
+		JmpImm(JmpJEQ, R0, 0, 1),
+		LoadMem(R0, R0, 0, SizeDW),
+		Exit(),
+	}, Maps: maps, CtxSize: 0, Backend: BackendCompiled})
+	env := &FixedEnv{TimeNS: 77}
+	if _, _, err := p.Run(nil, env); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, err := p.Run(nil, env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compiled Run allocated %v allocs/op, want 0", allocs)
+	}
+}

@@ -784,11 +784,18 @@ func refRegDesc(v refVal) string {
 	}
 }
 
-// runDifferential executes one verifier-accepted program on both
-// machines and reports the first disagreement.
+// runDifferential executes one verifier-accepted program on all three
+// machines — the interpreter, the compiled backend, and the reference
+// evaluator — and reports the first disagreement. Each execution gets
+// its own map instances so map mutations cannot couple the runs.
 func runDifferential(t *testing.T, prog *Program, insns []Instruction, ctx []byte) {
 	t.Helper()
 	env := &FixedEnv{TimeNS: 112233, PidTgid: 42<<32 | 7, CPU: 3}
+
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("%s\nprogram:\n%s", fmt.Sprintf(format, args...), Disassemble(insns))
+	}
 
 	m := &vm{
 		prog:  prog,
@@ -800,15 +807,24 @@ func runDifferential(t *testing.T, prog *Program, insns []Instruction, ctx []byt
 	m.regs[R10] = word{region: &m.stack, off: StackSize}
 	vmRet, vmErr := m.exec()
 
+	// Compiled backend: a second Program over the same instruction
+	// stream, driven through getVM directly (no putVM recycle) so the
+	// final register file and stack image stay inspectable.
+	cprog, err := Load(ProgramSpec{Name: "diff-compiled", Insns: insns, Maps: diffMaps(), CtxSize: len(ctx), Backend: BackendCompiled})
+	if err != nil {
+		fail("compiled load rejected a program the interpreter load accepted: %v", err)
+	}
+	cm := getVM(cprog, ctx, env)
+	cRet, cErr := cprog.execCompiled(cm)
+
 	ref := newRefMachine(insns, ctx, env)
 	refRet, refErr := ref.exec()
 
-	fail := func(format string, args ...any) {
-		t.Helper()
-		t.Fatalf("%s\nprogram:\n%s", fmt.Sprintf(format, args...), Disassemble(insns))
-	}
 	if vmErr != nil {
 		fail("verified program faulted in the VM: %v", vmErr)
+	}
+	if cErr != nil {
+		fail("verified program faulted in the compiled backend: %v", cErr)
 	}
 	if refErr != nil {
 		fail("verified program faulted in the reference evaluator: %v", refErr)
@@ -816,20 +832,41 @@ func runDifferential(t *testing.T, prog *Program, insns []Instruction, ctx []byt
 	if vmRet != refRet {
 		fail("return value: vm %#x, ref %#x", vmRet, refRet)
 	}
+	if cRet != refRet {
+		fail("return value: compiled %#x, ref %#x", cRet, refRet)
+	}
 	if m.stats.Instructions != ref.insnN || m.stats.HelperCalls != ref.helperN {
 		fail("stats: vm (%d insns, %d helpers), ref (%d, %d)",
 			m.stats.Instructions, m.stats.HelperCalls, ref.insnN, ref.helperN)
 	}
+	if cm.stats != m.stats {
+		fail("stats: compiled %+v, vm %+v", cm.stats, m.stats)
+	}
 	for r := 0; r < NumRegisters; r++ {
-		if got, want := vmRegDesc(m.regs[r]), refRegDesc(ref.regs[r]); got != want {
+		want := refRegDesc(ref.regs[r])
+		if got := vmRegDesc(m.regs[r]); got != want {
 			fail("register r%d: vm %s, ref %s", r, got, want)
+		}
+		if got := vmRegDesc(cm.regs[r]); got != want {
+			fail("register r%d: compiled %s, ref %s", r, got, want)
 		}
 	}
 	if !bytes.Equal(m.stack.data, ref.stack[:]) {
-		fail("final stack image differs")
+		fail("final stack image differs (vm vs ref)")
+	}
+	if !bytes.Equal(cm.stack.data, ref.stack[:]) {
+		fail("final stack image differs (compiled vs ref)")
 	}
 
-	hash := prog.maps[1].(*HashMap)
+	diffCompareMaps(fail, "vm", prog.maps, ref)
+	diffCompareMaps(fail, "compiled", cprog.maps, ref)
+}
+
+// diffCompareMaps checks one production map set — hash contents, array
+// slots, and ring records/accounting — against the reference machine's
+// shadow maps. Drains the ring.
+func diffCompareMaps(fail func(string, ...any), label string, maps map[int32]Map, ref *refMachine) {
+	hash := maps[1].(*HashMap)
 	var hashKeys []string
 	for k := range ref.hash.m {
 		hashKeys = append(hashKeys, k)
@@ -837,38 +874,38 @@ func runDifferential(t *testing.T, prog *Program, insns []Instruction, ctx []byt
 	sort.Strings(hashKeys)
 	realKeys := hash.Keys()
 	if len(realKeys) != len(hashKeys) {
-		fail("hash map size: vm %d keys, ref %d keys", len(realKeys), len(hashKeys))
+		fail("hash map size: %s %d keys, ref %d keys", label, len(realKeys), len(hashKeys))
 	}
 	for i, k := range hashKeys {
 		if !bytes.Equal(realKeys[i], []byte(k)) {
-			fail("hash map key %d: vm %x, ref %x", i, realKeys[i], k)
+			fail("hash map key %d: %s %x, ref %x", i, label, realKeys[i], k)
 		}
 		v, _ := hash.Lookup([]byte(k))
 		if !bytes.Equal(v, ref.hash.m[k]) {
-			fail("hash map value for key %x: vm %x, ref %x", k, v, ref.hash.m[k])
+			fail("hash map value for key %x: %s %x, ref %x", k, label, v, ref.hash.m[k])
 		}
 	}
-	arr := prog.maps[2].(*ArrayMap)
+	arr := maps[2].(*ArrayMap)
 	for i := 0; i < diffArrayLen; i++ {
 		if !bytes.Equal(arr.At(i), ref.arr.slots[i]) {
-			fail("array slot %d: vm %x, ref %x", i, arr.At(i), ref.arr.slots[i])
+			fail("array slot %d: %s %x, ref %x", i, label, arr.At(i), ref.arr.slots[i])
 		}
 	}
-	ring := prog.maps[3].(*RingBuf)
+	ring := maps[3].(*RingBuf)
 	if ring.Dropped() != ref.ring.drops || ring.Written() != ref.ring.writes {
-		fail("ring accounting: vm %d written/%d dropped, ref %d/%d",
-			ring.Written(), ring.Dropped(), ref.ring.writes, ref.ring.drops)
+		fail("ring accounting: %s %d written/%d dropped, ref %d/%d",
+			label, ring.Written(), ring.Dropped(), ref.ring.writes, ref.ring.drops)
 	}
 	if ring.ProducerPos() != ref.ring.prod {
-		fail("ring producer pos: vm %d, ref %d", ring.ProducerPos(), ref.ring.prod)
+		fail("ring producer pos: %s %d, ref %d", label, ring.ProducerPos(), ref.ring.prod)
 	}
 	recs := ring.Drain()
 	if len(recs) != len(ref.ring.recs) {
-		fail("ring records: vm %d, ref %d", len(recs), len(ref.ring.recs))
+		fail("ring records: %s %d, ref %d", label, len(recs), len(ref.ring.recs))
 	}
 	for i := range recs {
 		if !bytes.Equal(recs[i], ref.ring.recs[i]) {
-			fail("ring record %d: vm %x, ref %x", i, recs[i], ref.ring.recs[i])
+			fail("ring record %d: %s %x, ref %x", i, label, recs[i], ref.ring.recs[i])
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 // frame pointer.
 type Register uint8
 
+// The eleven architectural registers, r0 through r10.
 const (
 	R0 Register = iota
 	R1
@@ -27,6 +28,7 @@ const (
 	NumRegisters = 11
 )
 
+// String returns the register's assembly spelling (r0..r10).
 func (r Register) String() string { return fmt.Sprintf("r%d", uint8(r)) }
 
 // Instruction classes (low 3 bits of the opcode).
@@ -140,11 +142,11 @@ const StackSize = 512
 // consecutive slots; the second carries the upper 32 immediate bits and is
 // otherwise zero.
 type Instruction struct {
-	Op  uint8
-	Dst Register
-	Src Register
-	Off int16
-	Imm int32
+	Op  uint8    // opcode: class, source flag, and operation bits
+	Dst Register // destination register
+	Src Register // source register
+	Off int16    // signed offset: memory displacement or branch delta
+	Imm int32    // signed 32-bit immediate
 }
 
 // Class returns the instruction class bits.

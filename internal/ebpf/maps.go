@@ -78,7 +78,10 @@ func (m *HashMap) Lookup(key []byte) ([]byte, bool) {
 }
 
 // Update inserts or replaces the value for key according to flags. The
-// value is copied.
+// value is copied. Overwrites of existing keys are allocation-free
+// (the map[string(b)] lookup form avoids the key conversion), which
+// keeps the per-event probe path — update the same per-thread entry on
+// every hit — off the allocator entirely.
 func (m *HashMap) Update(key, value []byte, flags int) error {
 	if len(key) != m.keySize {
 		return ErrBadKeySize
@@ -86,8 +89,7 @@ func (m *HashMap) Update(key, value []byte, flags int) error {
 	if len(value) != m.valueSize {
 		return ErrBadValSize
 	}
-	k := string(key)
-	_, exists := m.entries[k]
+	old, exists := m.entries[string(key)]
 	switch flags {
 	case UpdateNoExist:
 		if exists {
@@ -98,16 +100,16 @@ func (m *HashMap) Update(key, value []byte, flags int) error {
 			return ErrKeyNotExist
 		}
 	}
-	if !exists && len(m.entries) >= m.maxEntries {
-		return ErrMapFull
-	}
 	if exists {
-		copy(m.entries[k], value)
+		copy(old, value)
 		return nil
+	}
+	if len(m.entries) >= m.maxEntries {
+		return ErrMapFull
 	}
 	v := make([]byte, m.valueSize)
 	copy(v, value)
-	m.entries[k] = v
+	m.entries[string(key)] = v
 	return nil
 }
 
@@ -116,11 +118,10 @@ func (m *HashMap) Delete(key []byte) error {
 	if len(key) != m.keySize {
 		return ErrBadKeySize
 	}
-	k := string(key)
-	if _, ok := m.entries[k]; !ok {
+	if _, ok := m.entries[string(key)]; !ok {
 		return ErrKeyNotExist
 	}
-	delete(m.entries, k)
+	delete(m.entries, string(key))
 	return nil
 }
 
@@ -276,7 +277,8 @@ func (m *LRUHashMap) Lookup(key []byte) ([]byte, bool) {
 }
 
 // Update inserts or replaces the value for key, evicting the LRU entry
-// when the map is full.
+// when the map is full. As with HashMap, overwrites of existing keys
+// are allocation-free.
 func (m *LRUHashMap) Update(key, value []byte, flags int) error {
 	if len(key) != m.keySize {
 		return ErrBadKeySize
@@ -284,8 +286,7 @@ func (m *LRUHashMap) Update(key, value []byte, flags int) error {
 	if len(value) != m.valueSize {
 		return ErrBadValSize
 	}
-	k := string(key)
-	e, exists := m.entries[k]
+	e, exists := m.entries[string(key)]
 	switch flags {
 	case UpdateNoExist:
 		if exists {
@@ -316,7 +317,7 @@ func (m *LRUHashMap) Update(key, value []byte, flags int) error {
 	}
 	v := make([]byte, m.valueSize)
 	copy(v, value)
-	m.entries[k] = &lruEntry{value: v, used: m.clock}
+	m.entries[string(key)] = &lruEntry{value: v, used: m.clock}
 	return nil
 }
 

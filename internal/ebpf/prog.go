@@ -3,14 +3,22 @@ package ebpf
 import "fmt"
 
 // ProgramSpec describes a program before loading: its instruction stream,
-// the maps referenced by file descriptor, and the size of the context
+// the maps referenced by file descriptor, the size of the context
 // struct it will be attached against (the verifier bounds all R1-relative
-// reads by it).
+// reads by it), and the execution backend to load it for.
 type ProgramSpec struct {
-	Name    string
-	Insns   []Instruction
-	Maps    map[int32]Map
+	// Name labels the program in errors and diagnostics.
+	Name string
+	// Insns is the instruction stream submitted to the verifier.
+	Insns []Instruction
+	// Maps binds file descriptors (the LoadMapFD immediates) to maps.
+	Maps map[int32]Map
+	// CtxSize is the context struct size the program is verified
+	// against.
 	CtxSize int
+	// Backend selects the execution backend; the zero value
+	// (BackendAuto) resolves to DefaultBackend at Load time.
+	Backend Backend
 }
 
 // Program is a verified, loaded eBPF program.
@@ -20,7 +28,18 @@ type Program struct {
 	maps    map[int32]Map
 	ctxSize int
 	runs    uint64
-	vstates int // abstract states the verifier explored to admit it
+	vstates int     // abstract states the verifier explored to admit it
+	backend Backend // resolved at Load: interpreter or compiled
+	// Compiled backend state, nil/empty on the interpreter backend. ops
+	// is the dispatch table with pairs fused and straight-line blocks
+	// chained; opWeights[pc] is the dispatch-step cost of ops[pc] (see
+	// vm.steps); opsSingle is the unfused one-op-per-slot table the
+	// dispatch loop falls back to near budget exhaustion so budget
+	// faults land on the same instruction as the interpreter's.
+	ops       []cop
+	opsSingle []cop
+	opWeights []uint16
+	rsCache   *vm // parked run state; see getVM (Run is single-goroutine, like runs)
 }
 
 // Load verifies and loads a program. It fails exactly when the verifier
@@ -39,7 +58,15 @@ func Load(spec ProgramSpec) (*Program, error) {
 	}
 	insns := make([]Instruction, len(spec.Insns))
 	copy(insns, spec.Insns)
-	return &Program{name: spec.Name, insns: insns, maps: maps, ctxSize: spec.CtxSize, vstates: states}, nil
+	backend := spec.Backend
+	if backend == BackendAuto {
+		backend = DefaultBackend()
+	}
+	p := &Program{name: spec.Name, insns: insns, maps: maps, ctxSize: spec.CtxSize, vstates: states, backend: backend}
+	if backend == BackendCompiled {
+		p.ops, p.opsSingle, p.opWeights = compileProgram(p.insns, p.maps)
+	}
+	return p, nil
 }
 
 // MustLoad is Load but panics on error, for statically-known programs.
@@ -68,28 +95,41 @@ func (p *Program) Runs() uint64 { return p.runs }
 // telemetry registry as verifier_states_total.
 func (p *Program) VerifierStates() int { return p.vstates }
 
+// Backend returns the execution backend the program was loaded for
+// (never BackendAuto: auto resolves at Load time).
+func (p *Program) Backend() Backend { return p.backend }
+
 // Map returns the map loaded at fd, or nil.
 func (p *Program) Map(fd int32) Map { return p.maps[fd] }
 
 // Disassemble renders the loaded program.
 func (p *Program) Disassemble() string { return Disassemble(p.insns) }
 
-// Run executes the program once against ctx. The context length must
-// match the spec's CtxSize. The returned RunStats lets the caller charge
-// execution cost to the traced thread.
+// Run executes the program once against ctx on the backend it was
+// loaded for. The context length must match the spec's CtxSize. The
+// returned RunStats lets the caller charge execution cost to the
+// traced thread; both backends report identical stats for identical
+// runs (the differential suite enforces it).
+//
+// Run is not safe for concurrent use of one Program (it updates the
+// run counter and, on the compiled backend, recycles per-Program run
+// state); each simulated CPU loads its own Program instance.
 func (p *Program) Run(ctx []byte, env HelperEnv) (uint64, RunStats, error) {
 	if len(ctx) != p.ctxSize {
 		return 0, RunStats{}, fmt.Errorf("ebpf: run %q: ctx size %d, verified for %d", p.name, len(ctx), p.ctxSize)
 	}
 	p.runs++
+	if p.ops != nil {
+		return p.runCompiled(ctx, env)
+	}
 	return p.run(ctx, env)
 }
 
 // FixedEnv is a HelperEnv with fixed values, for tests and offline runs.
 type FixedEnv struct {
-	TimeNS  uint64
-	PidTgid uint64
-	CPU     uint32
+	TimeNS  uint64 // value returned by ktime_get_ns
+	PidTgid uint64 // value returned by get_current_pid_tgid
+	CPU     uint32 // value returned by get_smp_processor_id
 }
 
 // KtimeGetNS returns the fixed time.

@@ -7,10 +7,11 @@ import (
 // VerifierError reports why a program was rejected, with the offending
 // program counter.
 type VerifierError struct {
-	PC     int
-	Reason string
+	PC     int    // instruction slot the verifier rejected
+	Reason string // human-readable rejection reason
 }
 
+// Error formats the rejection with its program counter.
 func (e *VerifierError) Error() string {
 	return fmt.Sprintf("ebpf: verifier: pc=%d: %s", e.PC, e.Reason)
 }

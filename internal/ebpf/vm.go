@@ -21,11 +21,23 @@ type HelperEnv interface {
 // RunStats reports the dynamic cost of one program execution, used by the
 // kernel to charge probe overhead to the traced thread. MapOps is
 // telemetry-only: the cost model charges instructions and helper calls,
-// and map operations are a subset of the latter.
+// and map operations are a subset of the latter. Both execution
+// backends produce identical RunStats for identical runs, so the
+// charged probe cost — and therefore every simulation result — is
+// backend-independent.
 type RunStats struct {
-	Instructions int // instruction slots executed
-	HelperCalls  int // helper invocations
-	MapOps       int // map-touching helper calls (lookup/update/delete/ringbuf)
+	// Instructions is the number of instruction slots executed; a wide
+	// LdImmDW counts both of its slots, matching the kernel's insn
+	// accounting. The kernel charges perInsnCost for each.
+	Instructions int
+	// HelperCalls is the number of helper invocations, charged at
+	// perHelperCost each (helpers leave JITed code for the kernel
+	// proper, which is why they cost ~10x an instruction).
+	HelperCalls int
+	// MapOps counts the subset of HelperCalls that touch a map
+	// (lookup/update/delete/ringbuf). Telemetry-only: surfaced as
+	// vm_map_ops_total, never charged separately.
+	MapOps int
 }
 
 type regionKind uint8
@@ -82,14 +94,19 @@ func (w word) truthy() bool {
 // should never produce one; it exists as defense in depth and for tests
 // that bypass the verifier.
 type RuntimeError struct {
-	PC     int
-	Reason string
+	PC     int    // instruction slot that faulted
+	Reason string // human-readable fault reason
 }
 
+// Error formats the fault with its program counter.
 func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("ebpf: runtime fault at pc=%d: %s", e.PC, e.Reason)
 }
 
+// vm is the run state shared by both execution backends: the register
+// file, the stack, the context window, and spill tracking. The
+// interpreter allocates one per run; the compiled backend recycles
+// them through vmPool (compile.go) with the pooled fields below.
 type vm struct {
 	prog  *Program
 	env   HelperEnv
@@ -101,8 +118,49 @@ type vm struct {
 	// keyed by absolute stack offset — the runtime twin of the verifier's
 	// spill map. The slot's raw bytes hold the pointer's region offset so
 	// partial re-reads (which lose pointer identity, as in the verifier's
-	// model) stay deterministic.
+	// model) stay deterministic. Interpreter-only: the compiled backend
+	// tracks the same liveness in spillMask/spillW.
 	spills map[int64]word
+
+	// Pooled (compiled-backend) state, allocated once per pooled vm and
+	// retained across runs so steady-state compiled execution never
+	// touches the heap. They are pointers/slices rather than inline
+	// arrays so the interpreter's per-run vm allocation stays small.
+	// stackMem backs stack.data (cleared, not reallocated, per run);
+	// spillMask bit i marks stack slot [8i,8i+8) as holding the live
+	// spilled word spillW[i]; mvArena is a bump arena for map-value
+	// regions, reset (not freed) per run; ret carries the exit value out
+	// of the compiled dispatch loop. pooled routes mapValRegion through
+	// the arena.
+	stackMem  []byte
+	spillW    *[spillSlots]word
+	spillMask uint64
+	mvArena   []region
+	ret       uint64
+	pooled    bool
+	// stackLo is the lowest stack offset the run has written (StackSize
+	// when untouched). Probes address downward from R10, so [stackLo,
+	// StackSize) is a superset of the dirty bytes and is all getVM must
+	// clear to hand the next run a zeroed stack.
+	stackLo int64
+	// steps counts completed dispatches against the instruction budget,
+	// in the interpreter's units (a wide LdImmDW is one dispatch, each
+	// half of a fused pair is one). Compiled-backend only; the
+	// interpreter keeps its counter in a loop variable.
+	steps int
+}
+
+// mapValRegion mints the fresh region identity a map lookup returns.
+// Pooled run state serves it from the per-run arena (zero steady-state
+// allocations — the arena keeps its capacity across runs); interpreter
+// runs allocate, as they always have. Identity semantics are the same
+// either way: each lookup yields a distinct *region.
+func (m *vm) mapValRegion(v []byte) *region {
+	if !m.pooled {
+		return &region{kind: regionMapValue, data: v}
+	}
+	m.mvArena = append(m.mvArena, region{kind: regionMapValue, data: v})
+	return &m.mvArena[len(m.mvArena)-1]
 }
 
 // run interprets the program against ctx. ctx may be nil for programs
@@ -428,9 +486,13 @@ func (m *vm) branch(pc int, in Instruction) (bool, error) {
 }
 
 func (m *vm) load(pc int, base word, off int64, size int) (uint64, error) {
-	data, err := m.slice(pc, base, off, size)
-	if err != nil {
-		return 0, err
+	data, ok := fastSlice(base, off, size)
+	if !ok {
+		var err error
+		data, err = m.slice(pc, base, off, size)
+		if err != nil {
+			return 0, err
+		}
 	}
 	switch size {
 	case 1:
@@ -535,6 +597,21 @@ func (m *vm) slice(pc int, base word, off int64, size int) ([]byte, error) {
 	return base.region.data[start:end], nil
 }
 
+// fastSlice resolves the common in-bounds access without slice's fault
+// machinery; ok=false means "fall back to slice for the diagnostic",
+// not "fault". It is small enough for the compiler to inline into the
+// compiled backend's memory ops.
+func fastSlice(base word, off int64, size int) ([]byte, bool) {
+	if base.region == nil || size <= 0 {
+		return nil, false
+	}
+	start := base.off + off
+	if start < 0 || start+int64(size) > int64(len(base.region.data)) {
+		return nil, false
+	}
+	return base.region.data[start : start+int64(size)], true
+}
+
 // atomic executes a BPF_ATOMIC STX (currently AtomicAdd): a
 // read-modify-write on map-value or stack memory.
 func (m *vm) atomic(pc int, in Instruction, add uint64) error {
@@ -597,7 +674,7 @@ func (m *vm) call(pc int, id int32) error {
 			setR0(scalarWord(0))
 			return nil
 		}
-		setR0(word{region: &region{kind: regionMapValue, data: v}})
+		setR0(word{region: m.mapValRegion(v)})
 		return nil
 	case HelperMapUpdateElem:
 		mp := r(R1).m

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"reqlens/internal/ebpf"
+	"reqlens/internal/workloads"
+)
+
+// TestSweepBackendEquivalence runs the same saturation sweep under both
+// VM backends and requires bit-identical results: the compiled backend
+// must be invisible to the experiment layer — same metrics, same
+// per-request costs, same stream accounting. This is the end-to-end
+// companion to the instruction-level differential suite in
+// internal/ebpf.
+func TestSweepBackendEquivalence(t *testing.T) {
+	opt := Quick()
+	opt.Levels = []float64{0.5, 1.0}
+	opt.Stream = true
+	spec := workloads.Silo()
+
+	run := func(b ebpf.Backend) SweepResult {
+		prev := ebpf.SetDefaultBackend(b)
+		defer ebpf.SetDefaultBackend(prev)
+		return SaturationSweep(spec, opt)
+	}
+	interp := run(ebpf.BackendInterpreter)
+	compiled := run(ebpf.BackendCompiled)
+	if !reflect.DeepEqual(interp, compiled) {
+		t.Fatalf("sweep differs across backends:\ninterpreter: %+v\ncompiled: %+v", interp, compiled)
+	}
+}

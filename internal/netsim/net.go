@@ -143,5 +143,5 @@ func (p *pipe) send(m *Message) {
 		arrival = p.lastRelease // in-order delivery: HOL blocking
 	}
 	p.lastRelease = arrival
-	p.net.env.ScheduleAt(arrival, func() { p.dst.deliver(m) })
+	p.net.env.PostAt(arrival, func() { p.dst.deliver(m) })
 }

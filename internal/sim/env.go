@@ -30,7 +30,8 @@ type Event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	poolable bool // fire-and-forget (Post/PostAt): recycled after firing
+	index    int  // heap index, -1 once popped
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
@@ -65,6 +66,15 @@ type Env struct {
 	// write-only from the simulation's point of view, so instrumenting an
 	// environment cannot change its event order or results.
 	telEvents *telemetry.Counter
+
+	// free is the recycle list for fire-and-forget events (Post/PostAt).
+	// Step returns a poolable event here after it fires, so a steady-state
+	// simulation reuses a small working set of Events instead of pressuring
+	// the garbage collector once per event. Events handed out by
+	// Schedule/ScheduleAt are never pooled: their handles escape to callers
+	// who may hold them past the fire time (Cancel, At), so recycling one
+	// would let a stale handle cancel an unrelated reused event.
+	free []*Event
 }
 
 // NewEnv returns an environment with the virtual clock at zero. The seed
@@ -119,6 +129,37 @@ func (e *Env) ScheduleAt(t Time, fn func()) *Event {
 	return ev
 }
 
+// Post arranges for fn to run at now+d, like Schedule, but returns no
+// handle: the event cannot be canceled, and in exchange the environment
+// recycles its Event allocation after it fires. Hot paths that schedule
+// unconditionally (proc wakeups, packet delivery) should prefer Post;
+// steady-state posting allocates nothing. Posting in the past panics.
+func (e *Env) Post(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past", d))
+	}
+	e.PostAt(e.now.Add(d), fn)
+}
+
+// PostAt arranges for fn to run at absolute virtual time t with no
+// cancellation handle; see Post.
+func (e *Env) PostAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn, poolable: true}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, poolable: true}
+	}
+	heap.Push(&e.events, ev)
+}
+
 // Step runs the single next event, advancing the clock to it. It returns
 // false when no events remain. With a Clock attached, every
 // clockCheckEvery-th step first verifies the execution budget and
@@ -136,7 +177,16 @@ func (e *Env) Step() bool {
 		e.now = ev.at
 		e.executed++
 		e.telEvents.Inc()
-		ev.fn()
+		fn := ev.fn
+		if ev.poolable {
+			// Recycle before running fn: the callback may itself Post, and
+			// handing the slot back first lets a self-rescheduling tick
+			// reuse its own Event. Poolable events have no outside handle,
+			// so nothing can observe the reuse.
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false

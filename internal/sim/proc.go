@@ -10,21 +10,23 @@ type killed struct{}
 // proc code needs no locking against other procs and execution order is
 // fully determined by the event heap.
 type Proc struct {
-	env     *Env
-	name    string
-	resume  chan struct{}
-	waiting bool // parked, waiting for activate
-	started bool // the body goroutine exists (its spawn event has fired)
-	done    bool
+	env       *Env
+	name      string
+	resume    chan struct{}
+	waiting   bool // parked, waiting for activate
+	started   bool // the body goroutine exists (its spawn event has fired)
+	done      bool
+	activate0 func() // p.activate hoisted once; Sleep posts it without allocating
 }
 
 // Spawn starts a new proc whose body begins executing at the current
 // virtual time (after already-scheduled events at this time).
 func (e *Env) Spawn(name string, body func(*Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p.activate0 = p.activate
 	e.procs[p] = struct{}{}
 	p.waiting = true
-	e.Schedule(0, func() {
+	e.Post(0, func() {
 		p.started = true
 		go func() {
 			defer func() {
@@ -86,7 +88,7 @@ func (p *Proc) yield() {
 
 // Sleep suspends the proc for virtual duration d.
 func (p *Proc) Sleep(d time.Duration) {
-	p.env.Schedule(d, p.activate)
+	p.env.Post(d, p.activate0)
 	p.yield()
 }
 
@@ -102,10 +104,18 @@ func (p *Proc) Park() {
 type Waker struct {
 	p       *Proc
 	pending bool
+	fire    func() // hoisted wake callback; Wake posts it without allocating
 }
 
 // NewWaker returns a Waker bound to p.
-func (p *Proc) NewWaker() *Waker { return &Waker{p: p} }
+func (p *Proc) NewWaker() *Waker {
+	w := &Waker{p: p}
+	w.fire = func() {
+		w.pending = false
+		w.p.activate()
+	}
+	return w
+}
 
 // Wake schedules the proc to resume at the current virtual time. Safe to
 // call from any proc body or event callback.
@@ -114,10 +124,7 @@ func (w *Waker) Wake() {
 		return
 	}
 	w.pending = true
-	w.p.env.Schedule(0, func() {
-		w.pending = false
-		w.p.activate()
-	})
+	w.p.env.Post(0, w.fire)
 }
 
 // WakeAfter schedules the proc to resume after d. It returns the event

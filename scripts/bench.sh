@@ -16,6 +16,7 @@ cd "$(dirname "$0")/.."
 BENCHES="
 ringbuf|BenchmarkRingbufThroughput|./internal/ebpf/
 interpreter|BenchmarkEBPFInterpreterListing1|.
+jit|BenchmarkEBPFCompiledListing1|.
 verifier|BenchmarkEBPFVerifier|.
 sim|BenchmarkSimulatorEventThroughput|.
 syscall|BenchmarkKernelSyscallPath|.

@@ -13,6 +13,12 @@
 #   go test -cover (floors)               per-package coverage floors on
 #                                         the packages where a silent
 #                                         regression is most dangerous
+#   doclint                               every exported identifier in
+#                                         internal/ebpf carries a doc
+#                                         comment (scripts/doclint)
+#   bench smoke                           the substrate benchmarks that
+#                                         scripts/bench.sh records run
+#                                         for one iteration each
 #   examples smoke                        build and run every examples/*
 #                                         binary with tiny parameters so
 #                                         the documented entry points
@@ -31,6 +37,12 @@ fi
 
 echo "== go vet"
 go vet ./...
+
+echo "== doclint (internal/ebpf)"
+# Exported identifiers in the VM package must carry doc comments; the
+# two-backend API surface is documented by contract (see
+# scripts/doclint).
+go run ./scripts/doclint ./internal/ebpf
 
 echo "== go build"
 go build ./...
@@ -69,6 +81,16 @@ cover_floor ./internal/stats 70
 cover_floor ./internal/trace 70
 cover_floor ./internal/telemetry 70
 cover_floor ./internal/resilience 70
+
+echo "== bench smoke (substrate benches, 1 iteration)"
+# Every microbenchmark scripts/bench.sh records must still run; a
+# broken bench would otherwise surface only at `make bench` time. One
+# iteration each — this checks they execute, not their numbers.
+go test -run '^$' -benchtime 1x \
+    -bench '^(BenchmarkEBPFInterpreterListing1|BenchmarkEBPFCompiledListing1|BenchmarkEBPFVerifier|BenchmarkSimulatorEventThroughput|BenchmarkKernelSyscallPath)$' \
+    . >/dev/null
+go test -run '^$' -benchtime 1x -bench '^BenchmarkRingbufThroughput$' \
+    ./internal/ebpf/ >/dev/null
 
 echo "== resilience smoke (kill -9 mid-sweep, resume, diff)"
 # The supervision stack's end-to-end contract, exercised against the

@@ -13,6 +13,7 @@
 //	reqlens iouring [flags]             # Section V-C blind spot
 //	reqlens stream [flags]              # batch vs streaming observer agreement
 //	reqlens robustness [flags]          # R^2 deltas under kernel fault plans
+//	reqlens fleet [-nodes N] [flags]    # multi-node cluster sweep with scrape/merge rollups
 //	reqlens telemetry -journal F [-top N] # render a recorded run journal
 //	reqlens resume -journal F           # re-run a journaled sweep, skipping done points
 //	reqlens all   [flags]               # everything above except robustness
@@ -40,6 +41,14 @@
 // every 7th) to exercise that machinery on demand. Any of these enables
 // supervised execution; with none set the engine runs undecorated.
 //
+// The fleet subcommand simulates a whole cluster per load level: -nodes
+// sizes the fleet (heterogeneous workload mix), -scrape-interval,
+// -skew, -staleness and -missrate shape the scrape/merge aggregation
+// plane, -epochs sets the scrape rounds per level, and -topk sizes the
+// per-epoch rankings. Each level's cluster is one supervised engine
+// point, so -parallel, -deadline, -retries and -journal compose with it
+// unchanged, and results are bit-identical at any -parallel value.
+//
 // Every experiment subcommand also accepts the self-telemetry flags:
 // -metrics F writes the run's metric registry to F in Prometheus text
 // format on exit (including the supervisor's panic/retry/gap counters
@@ -66,6 +75,7 @@ import (
 
 	"reqlens/internal/ebpf"
 	"reqlens/internal/faults"
+	"reqlens/internal/fleet"
 	"reqlens/internal/harness"
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
@@ -74,7 +84,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|telemetry|resume|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|fleet|telemetry|resume|all> [flags]")
 	os.Exit(2)
 }
 
@@ -143,6 +153,13 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 	retries := fs.Int("retries", 0, "re-run a failed point up to N times with the same derived seed")
 	chaos := fs.Bool("chaos", false, "inject a deterministic panic every 5th point and a hang every 7th (exercise supervision)")
 	backendName := fs.String("backend", "", "eBPF execution backend: auto, interpreter, or compiled (default: compiled)")
+	nodes := fs.Int("nodes", 16, "fleet subcommand: cluster size")
+	scrapeInterval := fs.Duration("scrape-interval", 0, "fleet subcommand: scrape period (0 = 250ms)")
+	skew := fs.Duration("skew", 0, "fleet subcommand: per-node scrape jitter bound (0 = interval/10, negative = none)")
+	staleness := fs.Duration("staleness", 0, "fleet subcommand: max sample age before a node is excluded as stale (0 = 2*interval+skew)")
+	missRate := fs.Float64("missrate", 0.05, "fleet subcommand: probability a scrape attempt fails")
+	epochs := fs.Int("epochs", 8, "fleet subcommand: scrape rounds per load level")
+	topK := fs.Int("topk", 3, "fleet subcommand: entries in the per-epoch saturation/noise rankings")
 	if err := fs.Parse(args); err != nil {
 		usage()
 	}
@@ -271,6 +288,18 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 		}
 	case "robustness":
 		runRobustness(specs, opt)
+	case "fleet":
+		runFleet(opt, fleet.SweepOptions{
+			Nodes:  fleet.DefaultSpecs(*nodes),
+			Epochs: *epochs,
+			TopK:   *topK,
+			Scrape: fleet.ScrapeConfig{
+				Interval:  *scrapeInterval,
+				Skew:      *skew,
+				Staleness: *staleness,
+				MissRate:  *missRate,
+			},
+		})
 	case "all":
 		fmt.Print(machine.TableI())
 		fmt.Println()
@@ -338,6 +367,24 @@ func runFig5(opt harness.ExpOptions, quick bool) {
 	cfgs, _ := netemConfigs()
 	res := harness.Fig5(workloads.TritonGRPC(), cfgs, o)
 	fmt.Print(harness.RenderFig5(res))
+	fmt.Println()
+}
+
+// runFleet runs the cluster saturation sweep and prints the level
+// table plus the highest surviving level's final-epoch rollup (the
+// "what the scraper saw" view, with any stale exclusions called out).
+func runFleet(opt harness.ExpOptions, fopt fleet.SweepOptions) {
+	res := fleet.Sweep(opt, fopt)
+	fmt.Print(fleet.RenderSweep(res))
+	for i := len(res.Points) - 1; i >= 0; i-- {
+		p := res.Points[i]
+		if p.Gap || len(p.Rollups) == 0 {
+			continue
+		}
+		fmt.Printf("final epoch at level %.2f:\n", p.Level)
+		fmt.Print(fleet.RenderRollup(p.Rollups[len(p.Rollups)-1]))
+		break
+	}
 	fmt.Println()
 }
 

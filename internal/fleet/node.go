@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"time"
+
+	"reqlens/internal/faults"
+	"reqlens/internal/harness"
+	"reqlens/internal/machine"
+	"reqlens/internal/sim"
+	"reqlens/internal/telemetry"
+	"reqlens/internal/workloads"
+)
+
+// NodeSpec describes one cluster member. Heterogeneity is per-node:
+// each member picks its own workload, hardware profile, load weight
+// and (optionally) a fault plan.
+type NodeSpec struct {
+	// Workload is the served application. Its FailureRPS is the node's
+	// nominal capacity; the cluster's open-loop load splits
+	// proportionally to it.
+	Workload workloads.Spec
+
+	// Profile selects the node's hardware model (zero value = AMD).
+	Profile machine.Profile
+
+	// Weight scales the node's share of the offered load relative to
+	// its capacity: 1 (the default for 0) is a fair share, >1 makes
+	// this a hot node driven past its proportional allocation while the
+	// rest of the fleet stays at the nominal level.
+	Weight float64
+
+	// Plan is a fault-injection schedule armed on this node after
+	// warmup. The zero Plan leaves the node unfaulted. A plan carrying
+	// a netem config shapes this node's link for the whole run.
+	Plan faults.Plan
+}
+
+// weight resolves the default load share.
+func (s NodeSpec) weight() float64 {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
+}
+
+// DefaultSpecs returns n heterogeneous node specs cycling through the
+// cheap tailbench workloads — the mix the fleet subcommand and the
+// benchmarks simulate.
+func DefaultSpecs(n int) []NodeSpec {
+	mix := []workloads.Spec{
+		workloads.Silo(), workloads.ImgDNN(), workloads.Xapian(),
+		workloads.SpecJBB(), workloads.Moses(),
+	}
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Workload: mix[i%len(mix)]}
+	}
+	return specs
+}
+
+// Per-node metric names the exporter publishes on top of the rig's
+// hot-path instruments. The scraper reads these back by name when
+// computing rollups, so they are constants rather than inline strings.
+const (
+	metricObsvRPS    = "node_obsv_rps"
+	metricSendVarUS2 = "node_send_var_us2"
+	metricRecvVarUS2 = "node_recv_var_us2"
+	metricPollMeanNS = "node_poll_mean_ns"
+	metricSaturation = "node_saturation"
+	metricScrapes    = "node_scrapes_total"
+	metricSends      = "node_sends_total"
+)
+
+// Node is one cluster member: a harness.Rig (server node + co-located
+// load generator, the paper's single-host setup) on a private
+// simulation timeline, plus the scrape-plane state the aggregation
+// layer keeps about it.
+type Node struct {
+	ID   int
+	Spec NodeSpec
+
+	// Rig is the member's full single-node experiment. Rig.Reg is the
+	// node's metrics registry — its "exporter endpoint".
+	Rig *harness.Rig
+
+	// Rate is the node's open-loop offered load (RPS).
+	Rate float64
+
+	// rng drives this node's scrape-plane randomness (scrape-time
+	// jitter, scrape misses). It is private to the node and consumed in
+	// a fixed per-epoch order, so its sequence — and therefore every
+	// scrape decision — is independent of lockstep worker scheduling.
+	rng *rand.Rand
+
+	// Scrape-plane state: the last successful scrape's parsed sample
+	// and sim instant, and the running miss count.
+	last   Sample
+	lastOK bool
+	missed int
+}
+
+// newNode builds one member: its environment, rig and per-node
+// registry. level is the cluster load level; the node's offered rate is
+// level * FailureRPS * weight.
+func newNode(id int, spec NodeSpec, seed int64, level float64, clock *sim.Clock) *Node {
+	reg := telemetry.New()
+	rate := level * spec.Workload.FailureRPS * spec.weight()
+	netem := spec.Plan.Netem // link shaping is a whole-run property
+	rig := harness.NewRig(spec.Workload, harness.RigOptions{
+		Seed:      seed,
+		Profile:   spec.Profile,
+		Netem:     netem,
+		Rate:      rate,
+		Probes:    true,
+		Telemetry: reg,
+		Clock:     clock,
+	})
+	return &Node{
+		ID:   id,
+		Spec: spec,
+		Rig:  rig,
+		Rate: rate,
+		rng:  rand.New(rand.NewSource(seed ^ 0x5eed1e7)),
+	}
+}
+
+// Export samples the node's observer into its registry and serializes
+// the registry in Prometheus text format — one scrape response. The
+// observer window spans the time since the previous successful scrape
+// (missed scrapes leave the window accumulating, exactly like a real
+// exporter whose caller went away).
+func (n *Node) Export() []byte {
+	w := n.Rig.Obs.Sample()
+	reg := n.Rig.Reg
+	reg.FloatGauge(metricObsvRPS).Set(w.Send.RatePerSec)
+	reg.FloatGauge(metricSendVarUS2).Set(w.Send.VarianceUS2)
+	reg.FloatGauge(metricRecvVarUS2).Set(w.Recv.VarianceUS2)
+	reg.FloatGauge(metricPollMeanNS).Set(float64(w.Poll.MeanDuration))
+	reg.FloatGauge(metricSaturation).Set(w.Send.RatePerSec / n.Spec.Workload.FailureRPS)
+	reg.Counter(metricScrapes).Inc()
+	reg.Counter(metricSends).Add(w.Send.Calls)
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail; a failure here is a bug
+	}
+	return buf.Bytes()
+}
+
+// Truth is one node's ground-truth view at the end of a run — the
+// client-side measurements the in-kernel aggregation plane cannot see.
+type Truth struct {
+	Node    int
+	RealRPS float64
+	P99     time.Duration
+	QoSFail bool
+}
+
+// Truth snapshots the node's client-side ground truth.
+func (n *Node) Truth() Truth {
+	res := n.Rig.Client.Snapshot()
+	return Truth{
+		Node:    n.ID,
+		RealRPS: res.RealRPS,
+		P99:     res.P99,
+		QoSFail: res.P99 > n.Spec.Workload.QoS,
+	}
+}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"reqlens/internal/sim"
+)
+
+// Sample is one node's scraped, parsed export.
+type Sample struct {
+	Node int
+	At   sim.Time // sim instant the scrape completed (includes jitter)
+
+	// Metrics is the flat name -> value view ParseProm reconstructs
+	// from the node's Prometheus text. The round-trip is lossless
+	// (telemetry.WriteProm pins the formatting), so these equal the
+	// exporter's values bit-for-bit.
+	Metrics map[string]float64
+
+	// Raw is the exported text itself. Tests compare it byte-for-byte
+	// across runs (fault isolation, determinism); renderers ignore it.
+	Raw []byte `json:"-"`
+}
+
+// NodeStat is one node's entry in a rollup ranking.
+type NodeStat struct {
+	Node       int
+	ObsvRPS    float64
+	Saturation float64 // observed RPS / the node's nominal failure RPS
+	SendVarUS2 float64
+	PollMeanNS float64
+}
+
+// Rollup is the cluster-level view of one scrape epoch, computed purely
+// from scraped samples — no ground truth. Nodes whose last successful
+// scrape is older than the staleness bound contribute nothing: they are
+// listed in Stale and excluded from every sum and ranking, following
+// the repo's gap convention (missing data is reported missing, never
+// zero-filled — a zero RPS from a silent node would read as an outage
+// that never happened).
+type Rollup struct {
+	Epoch int
+	At    sim.Time // nominal epoch instant (before per-node jitter)
+
+	// GlobalObsvRPS sums the fresh nodes' observed RPS — the cluster
+	// throughput the in-kernel plane reports.
+	GlobalObsvRPS float64
+
+	// MeanSaturation averages fresh nodes' saturation.
+	MeanSaturation float64
+
+	// SaturatedNodes counts fresh nodes at or past saturationThreshold.
+	SaturatedNodes int
+
+	// Fresh counts nodes contributing to this rollup; Stale lists the
+	// node IDs excluded for staleness, in ID order. Missed counts the
+	// scrapes that failed *this epoch* (a missed scrape only becomes a
+	// stale mark once the node's last good sample ages past the bound).
+	Fresh  int
+	Stale  []int `json:",omitempty"`
+	Missed int
+
+	// TopSaturated and TopNoisy rank the fresh nodes by saturation and
+	// by send-delta variance (the paper's Eq. 2 signal — the "noisy
+	// node" fingerprint). Ties break by node ID, so rankings are stable
+	// across runs and worker counts.
+	TopSaturated []NodeStat `json:",omitempty"`
+	TopNoisy     []NodeStat `json:",omitempty"`
+}
+
+// saturationThreshold is the observed-saturation level at which a node
+// counts as saturated in rollups. Slightly under 1.0: the send-rate
+// estimate flattens at capacity, and the paper's failure points sit at
+// the knee rather than past it.
+const saturationThreshold = 0.9
+
+// computeRollup folds the nodes' freshest samples into one epoch
+// rollup. A node is stale when it has never been scraped or when its
+// last successful sample is older than the staleness bound at the
+// epoch's nominal instant. Nodes are folded in ID order, so float sums
+// are bit-stable at any worker count.
+func computeRollup(epoch int, at sim.Time, nodes []*Node, topK int, missed int, staleness time.Duration) Rollup {
+	r := Rollup{Epoch: epoch, At: at, Missed: missed}
+	var stats []NodeStat
+	for _, n := range nodes {
+		if !n.lastOK || at.Sub(n.last.At) > staleness {
+			r.Stale = append(r.Stale, n.ID)
+			continue
+		}
+		m := n.last.Metrics
+		st := NodeStat{
+			Node:       n.ID,
+			ObsvRPS:    m[metricObsvRPS],
+			Saturation: m[metricSaturation],
+			SendVarUS2: m[metricSendVarUS2],
+			PollMeanNS: m[metricPollMeanNS],
+		}
+		stats = append(stats, st)
+		r.GlobalObsvRPS += st.ObsvRPS
+		r.MeanSaturation += st.Saturation
+		if st.Saturation >= saturationThreshold {
+			r.SaturatedNodes++
+		}
+	}
+	r.Fresh = len(stats)
+	if r.Fresh > 0 {
+		r.MeanSaturation /= float64(r.Fresh)
+	}
+	r.TopSaturated = topBy(stats, topK, func(a, b NodeStat) bool { return a.Saturation > b.Saturation })
+	r.TopNoisy = topBy(stats, topK, func(a, b NodeStat) bool { return a.SendVarUS2 > b.SendVarUS2 })
+	return r
+}
+
+// topBy returns the k highest-ranked stats under less (a strict
+// "better-than" order), ties broken by node ID for run-to-run
+// stability.
+func topBy(stats []NodeStat, k int, better func(a, b NodeStat) bool) []NodeStat {
+	if k <= 0 || len(stats) == 0 {
+		return nil
+	}
+	s := make([]NodeStat, len(stats))
+	copy(s, stats)
+	sort.SliceStable(s, func(i, j int) bool {
+		if better(s[i], s[j]) != better(s[j], s[i]) {
+			return better(s[i], s[j])
+		}
+		return s[i].Node < s[j].Node
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	return s[:k]
+}

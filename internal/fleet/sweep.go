@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+
+	"reqlens/internal/harness"
+)
+
+// levelSeedStride separates the cluster seeds of a sweep's load levels
+// (see nodeSeedStride in cluster.go for the intra-cluster stride).
+const levelSeedStride = 1_000_003
+
+// SweepOptions shapes the fleet saturation sweep on top of the shared
+// harness.ExpOptions (which contributes Seed, Levels, Warmup,
+// Parallelism and the whole supervision/telemetry/journal stack).
+type SweepOptions struct {
+	// Nodes are the cluster members every level runs. Empty defaults to
+	// DefaultSpecs(8).
+	Nodes []NodeSpec
+
+	// Epochs is the number of scrape rounds per level (0 defaults to 8).
+	Epochs int
+
+	// Scrape configures the aggregation plane (zero values default per
+	// ScrapeConfig).
+	Scrape ScrapeConfig
+
+	// TopK sizes the rollup rankings (0 defaults to 3).
+	TopK int
+
+	// ClusterParallelism bounds the lockstep workers inside each
+	// cluster. 0 inherits the experiment's Parallelism (resolved like
+	// the engine resolves it: 0 means GOMAXPROCS). Results are
+	// identical at any setting.
+	ClusterParallelism int
+}
+
+// withDefaults resolves the zero values against the experiment options.
+func (f SweepOptions) withDefaults(opt harness.ExpOptions) SweepOptions {
+	if len(f.Nodes) == 0 {
+		f.Nodes = DefaultSpecs(8)
+	}
+	if f.Epochs <= 0 {
+		f.Epochs = 8
+	}
+	if f.TopK <= 0 {
+		f.TopK = 3
+	}
+	if f.ClusterParallelism <= 0 {
+		f.ClusterParallelism = opt.Parallelism
+	}
+	if f.ClusterParallelism <= 0 {
+		f.ClusterParallelism = runtime.GOMAXPROCS(0)
+	}
+	f.Scrape = f.Scrape.withDefaults()
+	return f
+}
+
+// LevelPoint is one load level of a fleet sweep: the full rollup
+// series the aggregation plane computed plus the per-node ground truth
+// the clients measured.
+type LevelPoint struct {
+	Level   float64
+	Nodes   int
+	Rollups []Rollup
+	Truth   []Truth
+
+	// RealRPS sums the nodes' client-measured throughput; ObsvRPS is
+	// the final epoch's scraped cluster throughput — the pair the
+	// paper's Fig. 2 correlates, lifted to cluster scale.
+	RealRPS float64
+	ObsvRPS float64
+
+	// QoSFails counts nodes whose client-side p99 violated their QoS.
+	QoSFails int
+
+	// MissedScrapes counts scrape attempts the plane lost across the
+	// run; StaleEpochs counts epochs whose rollup excluded at least one
+	// stale node.
+	MissedScrapes int
+	StaleEpochs   int
+
+	// Gap marks a level that failed under supervision: only Level is
+	// meaningful and renderers print the row as missing. Absent from
+	// JSON on complete runs.
+	Gap bool `json:",omitempty"`
+}
+
+// SweepResult is a fleet saturation sweep: one cluster run per load
+// level, each a supervised engine point.
+type SweepResult struct {
+	Nodes  int
+	Points []LevelPoint
+
+	// Gaps lists the labels of levels lost to supervision. Absent from
+	// JSON on complete runs.
+	Gaps []string `json:",omitempty"`
+}
+
+// sweepLevel runs one cluster at one load level. Pure in (opt, fopt,
+// li): the cluster seed derives from the root seed and the level index
+// only, so the result is bit-identical at any engine or lockstep
+// parallelism — and across supervision retries.
+func sweepLevel(opt harness.ExpOptions, fopt SweepOptions, pc harness.PointCtx, li int) LevelPoint {
+	level := opt.Levels[li]
+	reg, done := opt.PointTelemetry(fmt.Sprintf("fleet level=%.2f", level))
+	defer done()
+	c := NewCluster(Options{
+		Seed:        opt.Seed + int64(li)*levelSeedStride,
+		Nodes:       fopt.Nodes,
+		Level:       level,
+		Scrape:      fopt.Scrape,
+		TopK:        fopt.TopK,
+		Warmup:      opt.Warmup,
+		Parallelism: fopt.ClusterParallelism,
+		Clock:       pc.Clock,
+		Telemetry:   reg,
+	})
+	// Deferred so a deadline kill unwinding out of any node's event loop
+	// still drains every node's goroutines instead of leaking them.
+	defer c.Close()
+	p := LevelPoint{
+		Level:   level,
+		Nodes:   len(c.Nodes),
+		Rollups: c.Run(fopt.Epochs),
+		Truth:   c.GroundTruth(),
+	}
+	for _, t := range p.Truth {
+		p.RealRPS += t.RealRPS
+		if t.QoSFail {
+			p.QoSFails++
+		}
+	}
+	if n := len(p.Rollups); n > 0 {
+		p.ObsvRPS = p.Rollups[n-1].GlobalObsvRPS
+	}
+	p.MissedScrapes = c.MissedScrapes()
+	for _, r := range p.Rollups {
+		if len(r.Stale) > 0 {
+			p.StaleEpochs++
+		}
+	}
+	return p
+}
+
+// Sweep drives the whole fleet across load levels: at each level a
+// fresh cluster of fopt.Nodes members splits level * sum(capacity)
+// between them, runs fopt.Epochs scrape rounds, and reports the rollup
+// series against summed ground truth. Levels run on the harness engine,
+// so every cluster is a supervised point with PR 5 deadline/retry/gap
+// semantics and checkpoint resume.
+func Sweep(opt harness.ExpOptions, fopt SweepOptions) SweepResult {
+	opt = opt.WithDefaults()
+	fopt = fopt.withDefaults(opt)
+	opt, sp := opt.Scope("fleet")
+	defer opt.EndScope(sp)
+	labels := make([]string, len(opt.Levels))
+	for i, l := range opt.Levels {
+		labels[i] = fmt.Sprintf("fleet level=%.2f", l)
+	}
+	points, st := harness.RunPoints(opt, labels,
+		func(pc harness.PointCtx, li int) LevelPoint { return sweepLevel(opt, fopt, pc, li) })
+	for _, g := range st.Gaps {
+		if g.Index >= 0 && g.Index < len(points) {
+			points[g.Index] = LevelPoint{Level: opt.Levels[g.Index], Gap: true}
+		}
+	}
+	return SweepResult{Nodes: len(fopt.Nodes), Points: points, Gaps: st.GapLabels()}
+}

@@ -192,6 +192,13 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	return o
 }
 
+// WithDefaults is the exported form of withDefaults, for experiment
+// drivers outside this package (internal/fleet): fleet sweeps must
+// resolve Seed and Levels exactly as the in-package drivers do, or
+// their checkpoint keys and derived rig seeds would drift from what
+// RunPoints records.
+func (o ExpOptions) WithDefaults() ExpOptions { return o.withDefaults() }
+
 // Quick returns a reduced-scale configuration for unit tests: small
 // windows (128 sends), 3 estimates over 3 levels, short warmups. Fields
 // it leaves zero (Seed, Parallelism, ...) still pick up withDefaults.

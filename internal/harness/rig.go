@@ -51,7 +51,10 @@ type RigOptions struct {
 	// verifier cost. Telemetry is write-only — nothing in the rig reads
 	// an instrument back — so an instrumented rig produces bit-identical
 	// results to an uninstrumented one. Nil (the default) leaves every
-	// hot-path counter a nil no-op: one nil check per event.
+	// hot-path counter a nil no-op: one nil check per event. The fleet
+	// layer reads the registry back *after the fact* through the node's
+	// Prometheus export (Node.Reg); that aggregation-plane read cannot
+	// reach back into the simulation.
 	Telemetry *telemetry.Registry
 
 	// Clock, when non-nil, is the supervisor's execution budget for this
@@ -69,15 +72,18 @@ type RigOptions struct {
 // ring are then reproducible for a given seed.
 const streamDrainEvery = 50 * time.Millisecond
 
-// Rig is one fully wired experiment: simulation, two machines, network,
-// workload, client, probes.
-type Rig struct {
+// Node is one served instance: a server kernel running one workload
+// with the observer(s) under evaluation attached, plus the node's own
+// telemetry registry — everything a fleet member exports, and nothing
+// client-side. It is the unit internal/fleet replicates: a Rig is one
+// Node wired to a co-located load generator; a fleet.Cluster is many
+// Nodes, each on a private simulation timeline, with the load plane
+// split across them and the aggregation plane scraping Reg.
+type Node struct {
 	Env     *sim.Env
 	ServerK *kernel.Kernel
-	ClientK *kernel.Kernel
 	Net     *netsim.Network
 	Server  workloads.Server
-	Client  *loadgen.Client
 
 	// Obs is the attached core.Observer — the library under evaluation.
 	// Nil when RigOptions.Probes is false.
@@ -89,11 +95,22 @@ type Rig struct {
 
 	// Faults is the armed fault controller. Nil until Arm is called.
 	Faults *faults.Controller
+
+	// Reg is the registry the node's hot paths are instrumented into
+	// (RigOptions.Telemetry; nil when uninstrumented). The fleet scraper
+	// serializes it with telemetry.WriteProm — this is the node's
+	// "metrics endpoint".
+	Reg *telemetry.Registry
 }
 
-// NewRig builds and starts a rig for spec. Traffic flows as soon as the
-// simulation runs; call Warmup then Measure.
-func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
+// NewNode builds and starts the server side of an experiment on env: a
+// server kernel with the given hardware profile, the workload, the
+// observers selected by opt, and hot-path telemetry into opt.Telemetry.
+// It does not create a client; NewRig adds the co-located load
+// generator, and internal/fleet attaches one load-share client per
+// node. opt.Rate, Conns, Poisson, SeparateClient and CaptureArrivals
+// are client-side options and ignored here.
+func NewNode(env *sim.Env, spec workloads.Spec, opt RigOptions) *Node {
 	if opt.Profile.Name == "" {
 		opt.Profile = machine.AMD()
 	}
@@ -104,13 +121,103 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 	serverProf.CoresPerSock = workloads.ServerCores
 	serverProf.ThreadsPerCore = 1
 
-	env := sim.NewEnv(opt.Seed)
-	env.SetClock(opt.Clock)
-	r := &Rig{
+	n := &Node{
 		Env:     env,
 		ServerK: kernel.New(env, serverProf),
 		Net:     netsim.New(env),
+		Reg:     opt.Telemetry,
 	}
+	n.Server = workloads.Launch(n.ServerK, n.Net, spec, opt.Netem)
+
+	cfg := core.Config{
+		TGID:         n.Server.Process().TGID(),
+		SendSyscalls: []int{spec.SendNR},
+		RecvSyscalls: []int{spec.RecvNR},
+		PollSyscalls: []int{spec.PollNR},
+	}
+	if opt.Probes {
+		n.Obs = core.MustAttach(n.ServerK, cfg)
+	}
+	if opt.Stream {
+		n.Stream = core.MustAttachStream(n.ServerK, cfg, opt.StreamBytes)
+	}
+	if opt.Telemetry != nil {
+		// The server kernel carries the signals under study; a separate
+		// client kernel stays uninstrumented so its ideal-machine
+		// scheduling does not pollute the scheduler counters.
+		env.Instrument(opt.Telemetry)
+		n.ServerK.Instrument(opt.Telemetry)
+		if n.Obs != nil {
+			n.Obs.Instrument(opt.Telemetry)
+		}
+		if n.Stream != nil {
+			n.Stream.Instrument(opt.Telemetry)
+		}
+	}
+	return n
+}
+
+// Arm schedules plan's faults against the node's kernel (and the batch
+// observer, for probe-churn), with offsets relative to the current
+// simulated time — call it after warmup so fault windows land inside
+// the measurement. The plan's Netem field is not applied here: link
+// shaping is a whole-run property that experiments fold into
+// RigOptions.Netem when building the node.
+func (n *Node) Arm(plan faults.Plan) *faults.Controller {
+	tgt := faults.Target{Kernel: n.ServerK}
+	if n.Obs != nil {
+		tgt.Probes = n.Obs
+	}
+	n.Faults = faults.MustArm(plan, tgt)
+	return n.Faults
+}
+
+// Advance drives the node's simulation forward by d. With a streaming
+// observer attached, it advances in fixed streamDrainEvery chunks and
+// drains the ring after each, keeping the consumer ahead of the
+// producers at deterministic simulation instants; without one it is
+// Env.RunFor.
+func (n *Node) Advance(d time.Duration) {
+	if n.Stream == nil {
+		n.Env.RunFor(d)
+		return
+	}
+	for d > 0 {
+		step := streamDrainEvery
+		if d < step {
+			step = d
+		}
+		n.Env.RunFor(step)
+		// A RingStall fault pauses the consumer: producers keep filling
+		// the ring and start dropping once it is full, exactly like a
+		// wedged userspace reader.
+		if n.Faults == nil || !n.Faults.RingStalled() {
+			n.Stream.Poll()
+		}
+		d -= step
+	}
+}
+
+// Close terminates all simulation goroutines of the node's environment.
+// The node (and anything else sharing the environment) is unusable
+// after.
+func (n *Node) Close() { n.Env.Shutdown() }
+
+// Rig is one fully wired experiment: a Node (simulation, server kernel,
+// network, workload, observers) plus the client side — the ground-truth
+// load generator, co-located or on its own machine.
+type Rig struct {
+	Node
+	ClientK *kernel.Kernel
+	Client  *loadgen.Client
+}
+
+// NewRig builds and starts a rig for spec. Traffic flows as soon as the
+// simulation runs; call Warmup then Measure.
+func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
+	env := sim.NewEnv(opt.Seed)
+	env.SetClock(opt.Clock)
+	r := &Rig{Node: *NewNode(env, spec, opt)}
 	if opt.SeparateClient {
 		clientProf := machine.Profile{
 			Name: "client", Sockets: 1, CoresPerSock: 8, ThreadsPerCore: 1,
@@ -120,33 +227,6 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 	} else {
 		// Paper setup: client and server containers share the machine.
 		r.ClientK = r.ServerK
-	}
-	r.Server = workloads.Launch(r.ServerK, r.Net, spec, opt.Netem)
-
-	cfg := core.Config{
-		TGID:         r.Server.Process().TGID(),
-		SendSyscalls: []int{spec.SendNR},
-		RecvSyscalls: []int{spec.RecvNR},
-		PollSyscalls: []int{spec.PollNR},
-	}
-	if opt.Probes {
-		r.Obs = core.MustAttach(r.ServerK, cfg)
-	}
-	if opt.Stream {
-		r.Stream = core.MustAttachStream(r.ServerK, cfg, opt.StreamBytes)
-	}
-	if opt.Telemetry != nil {
-		// The server kernel carries the signals under study; a separate
-		// client kernel stays uninstrumented so its ideal-machine
-		// scheduling does not pollute the scheduler counters.
-		env.Instrument(opt.Telemetry)
-		r.ServerK.Instrument(opt.Telemetry)
-		if r.Obs != nil {
-			r.Obs.Instrument(opt.Telemetry)
-		}
-		if r.Stream != nil {
-			r.Stream.Instrument(opt.Telemetry)
-		}
 	}
 
 	conns := opt.Conns
@@ -166,46 +246,6 @@ func NewRig(spec workloads.Spec, opt RigOptions) *Rig {
 		CaptureArrivals: opt.CaptureArrivals,
 	})
 	return r
-}
-
-// Arm schedules plan's faults against the server kernel (and the batch
-// observer, for probe-churn), with offsets relative to the current
-// simulated time — call it after Warmup so fault windows land inside
-// the measurement. The plan's Netem field is not applied here: link
-// shaping is a whole-run property that experiments fold into
-// RigOptions.Netem when building the rig.
-func (r *Rig) Arm(plan faults.Plan) *faults.Controller {
-	tgt := faults.Target{Kernel: r.ServerK}
-	if r.Obs != nil {
-		tgt.Probes = r.Obs
-	}
-	r.Faults = faults.MustArm(plan, tgt)
-	return r.Faults
-}
-
-// Advance drives the simulation forward by d. With a streaming observer
-// attached, it advances in fixed streamDrainEvery chunks and drains the
-// ring after each, keeping the consumer ahead of the producers at
-// deterministic simulation instants; without one it is Env.RunFor.
-func (r *Rig) Advance(d time.Duration) {
-	if r.Stream == nil {
-		r.Env.RunFor(d)
-		return
-	}
-	for d > 0 {
-		step := streamDrainEvery
-		if d < step {
-			step = d
-		}
-		r.Env.RunFor(step)
-		// A RingStall fault pauses the consumer: producers keep filling
-		// the ring and start dropping once it is full, exactly like a
-		// wedged userspace reader.
-		if r.Faults == nil || !r.Faults.RingStalled() {
-			r.Stream.Poll()
-		}
-		d -= step
-	}
 }
 
 // Warmup advances the simulation without measuring.
@@ -260,6 +300,3 @@ func (r *Rig) Measure(d time.Duration) Measurement {
 	}
 	return m
 }
-
-// Close terminates all simulation goroutines. The rig is unusable after.
-func (r *Rig) Close() { r.Env.Shutdown() }

@@ -50,6 +50,28 @@ func (pt pointTelemetry) done() {
 	pt.sp.End(pt.reg.Snapshot())
 }
 
+// Scope is the exported form of expScope for experiment drivers that
+// live outside this package (internal/fleet): it opens the
+// experiment-level journal span and returns a copy of o carrying name
+// as the checkpoint namespace for RunPoints. Pair with EndScope.
+func (o ExpOptions) Scope(name string) (ExpOptions, *telemetry.Span) {
+	return o.expScope(name)
+}
+
+// EndScope closes a Scope's experiment span, attaching the run
+// registry's cumulative snapshot.
+func (o ExpOptions) EndScope(sp *telemetry.Span) { o.expEnd(sp) }
+
+// PointTelemetry opens per-point telemetry for an out-of-package
+// driver: a fresh private registry when the run is instrumented (pass
+// it to the point's rigs) and a journal point span. done must be called
+// when the point completes; it merges the private registry into the
+// run-level one and closes the span.
+func (o ExpOptions) PointTelemetry(label string) (reg *telemetry.Registry, done func()) {
+	pt := o.pointBegin(label)
+	return pt.reg, pt.done
+}
+
 // expBegin opens the experiment-level span. Pair with expEnd.
 func (o ExpOptions) expBegin(name string) *telemetry.Span {
 	return o.Journal.Begin(telemetry.KindExperiment, name)

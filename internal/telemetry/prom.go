@@ -11,8 +11,16 @@ import (
 // WriteProm renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples,
 // histograms as cumulative le-labelled buckets plus _sum and _count.
-// Output is sorted by instrument name, so two registries with equal
-// contents serialize byte-identically. A nil registry writes nothing.
+// Output is sorted by instrument name within each kind, so two
+// registries with equal contents serialize byte-identically.
+//
+// The serialization is pinned lossless for ParseProm: integer-valued
+// instruments print in base 10 (exact for every counter a simulation
+// can reach) and float gauges print with strconv.FormatFloat(v, 'g',
+// -1, 64) — the shortest representation that parses back to the same
+// float64 bit pattern. The fleet scrape/merge plane depends on this
+// round trip; TestPromRoundTripProperty enforces it. A nil registry
+// writes nothing.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -20,12 +28,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := bufio.NewWriter(w)
-	counters, gauges, hists := r.names()
+	counters, gauges, fgauges, hists := r.names()
 	for _, name := range counters {
 		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value())
 	}
 	for _, name := range gauges {
 		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value())
+	}
+	for _, name := range fgauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name,
+			strconv.FormatFloat(r.floatGauges[name].Value(), 'g', -1, 64))
 	}
 	for _, name := range hists {
 		h := r.histograms[name]
@@ -40,8 +52,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			if i+1 >= len(h.buckets) {
 				continue // top bucket has no finite bound; +Inf covers it
 			}
-			// The bucket's upper bound is the next bucket's lower bound.
-			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, histLow(i+1), cum)
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, histHigh(i), cum)
 		}
 		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
 		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum())

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fleet aggregation plane scrapes each node's WriteProm text and
+// reconstructs values with ParseProm; a lossy round trip would silently
+// corrupt every rollup. These tests pin the contract:
+//
+//   - every counter, gauge and float-gauge value survives write->parse
+//     bit-exactly (float gauges via shortest-form 'g' formatting,
+//     integers via base-10 within float64's exact range),
+//   - histogram _sum and _count are exact and the le-labelled buckets
+//     are emitted in increasing-bound order with non-decreasing
+//     cumulative counts capped by _count,
+//   - serialization is canonical: equal registries produce identical
+//     bytes, so scrape comparisons can be byte-level.
+
+// TestPromRoundTripProperty drives randomized registries through
+// WriteProm -> ParseProm and checks every reconstructed value against
+// the live instrument.
+func TestPromRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		r := New()
+		type inst struct {
+			name string
+			want float64
+		}
+		var insts []inst
+
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			name := fmt.Sprintf("ctr_%d", i)
+			v := rng.Uint64() >> uint(11+rng.Intn(40)) // keep within float64's exact range
+			r.Counter(name).Add(v)
+			insts = append(insts, inst{name, float64(v)})
+		}
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			name := fmt.Sprintf("gauge_%d", i)
+			v := rng.Int63n(1<<52) - 1<<51
+			r.Gauge(name).Set(v)
+			insts = append(insts, inst{name, float64(v)})
+		}
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			name := fmt.Sprintf("fgauge_%d", i)
+			// Exercise the formats a node exporter actually emits:
+			// rates, variances, tiny and huge magnitudes, negatives.
+			v := math.Exp(rng.Float64()*40-20) * float64(1-2*rng.Intn(2))
+			if rng.Intn(8) == 0 {
+				v = 0
+			}
+			r.FloatGauge(name).Set(v)
+			insts = append(insts, inst{name, v})
+		}
+		nhist := rng.Intn(3)
+		for i := 0; i < nhist; i++ {
+			h := r.Histogram(fmt.Sprintf("hist_%d", i))
+			for o, n := 0, rng.Intn(200); o < n; o++ {
+				h.Observe(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatalf("trial %d: WriteProm: %v", trial, err)
+		}
+		got, err := ParseProm(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: ParseProm: %v\n%s", trial, err, buf.String())
+		}
+
+		for _, in := range insts {
+			v, ok := got[in.name]
+			if !ok {
+				t.Fatalf("trial %d: %s missing from parsed export", trial, in.name)
+			}
+			if v != in.want { // bit-exact, not approximate
+				t.Fatalf("trial %d: %s round-tripped %v -> %v", trial, in.name, in.want, v)
+			}
+		}
+		for i := 0; i < nhist; i++ {
+			name := fmt.Sprintf("hist_%d", i)
+			h := r.Histogram(name)
+			if got[name+"_sum"] != float64(h.Sum()) || got[name+"_count"] != float64(h.Count()) {
+				t.Fatalf("trial %d: %s sum/count mismatch: parsed (%v, %v) want (%d, %d)",
+					trial, name, got[name+"_sum"], got[name+"_count"], h.Sum(), h.Count())
+			}
+			checkBucketOrdering(t, buf.String(), name, h.Count())
+		}
+
+		// Canonical bytes: re-serializing the same registry must be
+		// byte-identical (the scraper diffs exports directly).
+		var again bytes.Buffer
+		if err := r.WriteProm(&again); err != nil {
+			t.Fatalf("trial %d: WriteProm (second): %v", trial, err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("trial %d: serialization is not canonical", trial)
+		}
+	}
+}
+
+// checkBucketOrdering scans the raw export for one histogram's
+// le-labelled bucket lines and asserts increasing bounds, non-decreasing
+// cumulative counts, and a final +Inf bucket equal to _count.
+func checkBucketOrdering(t *testing.T, export, name string, count uint64) {
+	t.Helper()
+	prefix := name + "_bucket{le=\""
+	lastBound := int64(-1)
+	lastCum := uint64(0)
+	sawInf := false
+	for _, line := range strings.Split(export, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, prefix)
+		end := strings.Index(rest, "\"}")
+		if end < 0 {
+			t.Fatalf("%s: malformed bucket line %q", name, line)
+		}
+		bound, cumStr := rest[:end], strings.TrimSpace(rest[end+2:])
+		cum, err := strconv.ParseUint(cumStr, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: bad cumulative count in %q: %v", name, line, err)
+		}
+		if cum < lastCum {
+			t.Fatalf("%s: cumulative counts decreased (%d after %d) in %q", name, cum, lastCum, line)
+		}
+		lastCum = cum
+		if bound == "+Inf" {
+			sawInf = true
+			if cum != count {
+				t.Fatalf("%s: +Inf bucket %d != count %d", name, cum, count)
+			}
+			continue
+		}
+		if sawInf {
+			t.Fatalf("%s: finite bucket after +Inf: %q", name, line)
+		}
+		b, err := strconv.ParseInt(bound, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: bad bound in %q: %v", name, line, err)
+		}
+		if b <= lastBound {
+			t.Fatalf("%s: bucket bounds not increasing (%d after %d)", name, b, lastBound)
+		}
+		lastBound = b
+	}
+	if count > 0 && !sawInf {
+		t.Fatalf("%s: no +Inf bucket in export", name)
+	}
+}
+
+// TestFloatGaugeFormatPinned pins the exact float syntax WriteProm
+// emits: strconv.FormatFloat(v, 'g', -1, 64), whose shortest form is
+// guaranteed to parse back to the identical bits.
+func TestFloatGaugeFormatPinned(t *testing.T) {
+	r := New()
+	cases := []float64{0, 1, -1, 0.1, 2.5e-09, 1.2345678901234567e+17, 62000.25}
+	for i, v := range cases {
+		r.FloatGauge(fmt.Sprintf("f_%02d", i)).Set(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cases {
+		want := fmt.Sprintf("f_%02d %s\n", i, strconv.FormatFloat(v, 'g', -1, 64))
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("export missing pinned line %q:\n%s", want, buf.String())
+		}
+	}
+	got, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range cases {
+		name := fmt.Sprintf("f_%02d", i)
+		if math.Float64bits(got[name]) != math.Float64bits(v) {
+			t.Fatalf("%s: parsed %v, want %v (bit-exact)", name, got[name], v)
+		}
+	}
+}
+
+// TestFloatGaugeMergeAndSnapshot covers the registry plumbing the fleet
+// merge path relies on: float gauges merge by addition and appear in
+// Snapshot.
+func TestFloatGaugeMergeAndSnapshot(t *testing.T) {
+	a, b := New(), New()
+	a.FloatGauge("x").Set(1.5)
+	b.FloatGauge("x").Set(2.25)
+	b.FloatGauge("y").Add(3)
+	a.Merge(b)
+	if v := a.FloatGauge("x").Value(); v != 3.75 {
+		t.Fatalf("merged x = %v, want 3.75", v)
+	}
+	snap := a.Snapshot()
+	if snap["x"] != 3.75 || snap["y"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	var nilReg *Registry
+	if g := nilReg.FloatGauge("z"); g != nil {
+		t.Fatal("nil registry must return nil float gauge")
+	}
+	var nilG *FloatGauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil float gauge must read zero")
+	}
+}

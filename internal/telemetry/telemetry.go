@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,45 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an instantaneous float64 value, safe for concurrent
+// use. It exists for the scrape/merge plane: per-node exporters publish
+// derived request-level signals (observed RPS, send-delta variance)
+// that have no exact integer representation. A nil *FloatGauge discards
+// all updates.
+type FloatGauge struct {
+	bits atomic.Uint64 // math.Float64bits of the value
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add moves the value by d. Unlike Set it takes the registration mutex
+// path's atomicity per call, not across calls: concurrent Adds are each
+// applied exactly once (CAS loop).
+func (g *FloatGauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram bucket geometry: 64 base-2 exponents x histSub linear
 // sub-buckets, the same log-linear scheme as stats.Histogram but with
 // atomic buckets and a coarser sub-bucket count (worst-case relative
@@ -121,6 +161,24 @@ func histLow(i int) int64 {
 		shift = 0
 	}
 	return (int64(1) << uint(exp)) | (int64(sub) << uint(shift))
+}
+
+// histHigh returns the largest observation mapping to bucket i — the
+// bucket's inclusive `le` bound in the Prometheus export. Using the
+// next *index*'s lower bound instead would be wrong: indexes whose
+// exponent is below histSubL are unoccupiable (small values map to the
+// linear 0..histSub-1 range), so the next occupied bucket is not always
+// the next index, and bounds emitted that way go out of order around
+// the linear/log seam. TestPromRoundTripProperty pins the ordering.
+func histHigh(i int) int64 {
+	exp, sub := i/histSub, i%histSub
+	if exp < histSubL {
+		// Linear region: one integer per bucket (indexes histSub..
+		// histSub*histSubL-1 are unoccupiable and never emitted).
+		return int64(i)
+	}
+	shift := exp - histSubL
+	return (int64(1) << uint(exp)) + (int64(sub+1) << uint(shift)) - 1
 }
 
 func leadingZeros64(x uint64) int {
@@ -251,18 +309,20 @@ func (h *Histogram) merge(o *Histogram) {
 // so a single nil check at wiring time disables a whole subsystem's
 // telemetry at zero ongoing cost.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
 	}
 }
 
@@ -294,6 +354,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the float gauge registered under name, creating it
+// on first use. Returns nil on a nil registry.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floatGauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
 	}
 	return g
 }
@@ -333,6 +409,10 @@ func (r *Registry) Merge(o *Registry) {
 	for k, v := range o.gauges {
 		gauges[k] = v
 	}
+	fgauges := make(map[string]*FloatGauge, len(o.floatGauges))
+	for k, v := range o.floatGauges {
+		fgauges[k] = v
+	}
 	hists := make(map[string]*Histogram, len(o.histograms))
 	for k, v := range o.histograms {
 		hists[k] = v
@@ -344,6 +424,9 @@ func (r *Registry) Merge(o *Registry) {
 	}
 	for name, g := range gauges {
 		r.Gauge(name).Add(g.Value())
+	}
+	for name, g := range fgauges {
+		r.FloatGauge(name).Add(g.Value())
 	}
 	for name, h := range hists {
 		r.Histogram(name).merge(h)
@@ -360,15 +443,18 @@ func (r *Registry) Snapshot() map[string]float64 {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.counters)+len(r.gauges)+len(r.histograms) == 0 {
+	if len(r.counters)+len(r.gauges)+len(r.floatGauges)+len(r.histograms) == 0 {
 		return nil
 	}
-	out := make(map[string]float64, len(r.counters)+len(r.gauges)+3*len(r.histograms))
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+len(r.floatGauges)+3*len(r.histograms))
 	for name, c := range r.counters {
 		out[name] = float64(c.Value())
 	}
 	for name, g := range r.gauges {
 		out[name] = float64(g.Value())
+	}
+	for name, g := range r.floatGauges {
+		out[name] = g.Value()
 	}
 	for name, h := range r.histograms {
 		out[name+"_count"] = float64(h.Count())
@@ -380,18 +466,22 @@ func (r *Registry) Snapshot() map[string]float64 {
 
 // names returns the sorted instrument names of each kind (for
 // deterministic export ordering).
-func (r *Registry) names() (counters, gauges, hists []string) {
+func (r *Registry) names() (counters, gauges, fgauges, hists []string) {
 	for name := range r.counters {
 		counters = append(counters, name)
 	}
 	for name := range r.gauges {
 		gauges = append(gauges, name)
 	}
+	for name := range r.floatGauges {
+		fgauges = append(fgauges, name)
+	}
 	for name := range r.histograms {
 		hists = append(hists, name)
 	}
 	sort.Strings(counters)
 	sort.Strings(gauges)
+	sort.Strings(fgauges)
 	sort.Strings(hists)
 	return
 }

@@ -25,6 +25,41 @@ syscall|BenchmarkKernelSyscallPath|.
 filter="${1:-}"
 matched=0
 
+# fleet is special-cased: BenchmarkFleetEpochs runs one sub-benchmark
+# per cluster size, and BENCH_fleet.json records the whole scaling
+# series (node_epochs/s and events/s vs node count) as a JSON array.
+if [ -z "$filter" ] || [ "$filter" = fleet ]; then
+    matched=1
+    out=$(go test -run '^$' -bench '^BenchmarkFleetEpochs$' -benchmem ./internal/fleet/)
+    echo "$out"
+    echo "$out" | awk '
+    BEGIN { printf "{\n  \"benchmark\": \"BenchmarkFleetEpochs\",\n  \"points\": [" }
+    $1 ~ /^BenchmarkFleetEpochs\/nodes=/ {
+        n = $1
+        sub(/^.*nodes=/, "", n)
+        sub(/-.*$/, "", n)
+        printf "%s\n    {\"nodes\": %s, \"iterations\": %s", sep, n, $2
+        sep = ","
+        for (i = 3; i + 1 <= NF; i += 2) {
+            key = $(i + 1)
+            if (key == "ns/op")          key = "ns_per_op"
+            else if (key == "B/op")      key = "bytes_per_op"
+            else if (key == "allocs/op") key = "allocs_per_op"
+            else {
+                gsub(/\//, "_per_", key)
+                gsub(/[^A-Za-z0-9_]/, "_", key)
+            }
+            printf ", \"%s\": %s", key, $i
+        }
+        printf "}"
+        found = 1
+    }
+    END { if (!found) exit 1; printf "\n  ]\n}\n" }
+    ' > BENCH_fleet.json
+    echo "wrote BENCH_fleet.json:"
+    cat BENCH_fleet.json
+fi
+
 for line in $BENCHES; do
     name=${line%%|*}
     rest=${line#*|}

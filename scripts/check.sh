@@ -5,11 +5,11 @@
 #   go vet ./...                          static analysis
 #   go build ./...                        everything compiles
 #   go test ./...                         tier-1 suite
-#   go test -race ./internal/harness/... ./internal/core/...
+#   go test -race ./internal/harness/... ./internal/core/... ./internal/fleet/...
 #                                         engine + rig + observer attach
-#                                         paths under the race detector
-#                                         (the parallel engine's safety
-#                                         precondition)
+#                                         + lockstep cluster paths under
+#                                         the race detector (the parallel
+#                                         engine's safety precondition)
 #   go test -cover (floors)               per-package coverage floors on
 #                                         the packages where a silent
 #                                         regression is most dangerous
@@ -19,6 +19,9 @@
 #   bench smoke                           the substrate benchmarks that
 #                                         scripts/bench.sh records run
 #                                         for one iteration each
+#   fleet smoke                           the same cluster sweep at
+#                                         -parallel 1 and 2 must print
+#                                         byte-identical output
 #   examples smoke                        build and run every examples/*
 #                                         binary with tiny parameters so
 #                                         the documented entry points
@@ -50,10 +53,10 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race ./internal/harness/... ./internal/core/..."
+echo "== go test -race ./internal/harness/... ./internal/core/... ./internal/fleet/..."
 # The race-instrumented harness suite runs ~10x slower than native on a
 # single core; give it explicit headroom past go test's 10m default.
-go test -race -timeout 20m ./internal/harness/... ./internal/core/...
+go test -race -timeout 20m ./internal/harness/... ./internal/core/... ./internal/fleet/...
 
 echo "== go test -cover (floors)"
 # cover_floor <pkg> <floor-pct> fails the gate when the package's
@@ -81,6 +84,7 @@ cover_floor ./internal/stats 70
 cover_floor ./internal/trace 70
 cover_floor ./internal/telemetry 70
 cover_floor ./internal/resilience 70
+cover_floor ./internal/fleet 70
 
 echo "== bench smoke (substrate benches, 1 iteration)"
 # Every microbenchmark scripts/bench.sh records must still run; a
@@ -91,6 +95,24 @@ go test -run '^$' -benchtime 1x \
     . >/dev/null
 go test -run '^$' -benchtime 1x -bench '^BenchmarkRingbufThroughput$' \
     ./internal/ebpf/ >/dev/null
+go test -run '^$' -benchtime 1x -bench '^BenchmarkFleetEpochs$' \
+    ./internal/fleet/ >/dev/null
+
+echo "== fleet smoke (cluster sweep, parallel vs sequential)"
+# The fleet layer's determinism contract, exercised against the real
+# binary: the same cluster sweep at -parallel 1 and -parallel 2 must
+# print byte-identical output.
+fldir=$(mktemp -d)
+go build -o "$fldir/reqlens" ./cmd/reqlens
+"$fldir/reqlens" fleet -quick -nodes 6 -epochs 4 -parallel 1 >"$fldir/seq.out"
+"$fldir/reqlens" fleet -quick -nodes 6 -epochs 4 -parallel 2 >"$fldir/par.out"
+if ! diff -u "$fldir/seq.out" "$fldir/par.out"; then
+    echo "fleet sweep diverged between -parallel 1 and -parallel 2" >&2
+    rm -rf "$fldir"
+    exit 1
+fi
+echo "   parallel vs sequential fleet sweep: byte-identical"
+rm -rf "$fldir"
 
 echo "== resilience smoke (kill -9 mid-sweep, resume, diff)"
 # The supervision stack's end-to-end contract, exercised against the
@@ -140,6 +162,7 @@ for ex in examples/*/; do
     netem-robustness)    args="-parallel 2" ;;
     telemetry-dashboard) args="-interval 200ms" ;;
     streaming-monitor)   args="-ring 65536" ;;
+    fleet-monitor)       args="-nodes 8 -epochs 3" ;;
     *)                   args="" ;;
     esac
     echo "-- $name $args"

@@ -14,6 +14,7 @@
 //	reqlens stream [flags]              # batch vs streaming observer agreement
 //	reqlens robustness [flags]          # R^2 deltas under kernel fault plans
 //	reqlens fleet [-nodes N] [flags]    # multi-node cluster sweep with scrape/merge rollups
+//	reqlens cardinality [flags]         # sketch error/memory vs key cardinality (1e2..1e6)
 //	reqlens telemetry -journal F [-top N] # render a recorded run journal
 //	reqlens resume -journal F           # re-run a journaled sweep, skipping done points
 //	reqlens all   [flags]               # everything above except robustness
@@ -48,6 +49,12 @@
 // per-epoch rankings. Each level's cluster is one supervised engine
 // point, so -parallel, -deadline, -retries and -journal compose with it
 // unchanged, and results are bit-identical at any -parallel value.
+//
+// The cardinality subcommand sweeps key cardinality (100 .. 1e6, or a
+// reduced range with -quick) through the compiled sketch helpers and
+// reports count-min error against the εN bound, HashPipe top-K recall
+// against an exact oracle, and sketch-versus-exact-map memory — the
+// "does fixed map space survive high cardinality" question.
 //
 // Every experiment subcommand also accepts the self-telemetry flags:
 // -metrics F writes the run's metric registry to F in Prometheus text
@@ -84,7 +91,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|fleet|telemetry|resume|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|fleet|cardinality|telemetry|resume|all> [flags]")
 	os.Exit(2)
 }
 
@@ -288,6 +295,12 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 		}
 	case "robustness":
 		runRobustness(specs, opt)
+	case "cardinality":
+		cards := harness.DefaultCardinalities()
+		if *quick {
+			cards = []int{100, 1_000, 10_000}
+		}
+		fmt.Print(harness.RenderCardinality(harness.CardinalitySweep(cards, opt)))
 	case "fleet":
 		runFleet(opt, fleet.SweepOptions{
 			Nodes:  fleet.DefaultSpecs(*nodes),

@@ -8,11 +8,19 @@
 // against ground truth to show the controller would have acted at the
 // right moments.
 //
+// The controller also answers "scale up *what*": the sketch-based
+// attribution pipeline (count-min + HashPipe in fixed map space) names
+// the process driving the load. The run keeps the exact per-tgid
+// oracle alongside and exits non-zero if the sketch blames a different
+// hot process than the oracle, so the examples-smoke gate enforces the
+// agreement.
+//
 //	go run ./examples/blackbox-autoscaler
 package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"reqlens/internal/core"
@@ -34,9 +42,11 @@ type decision struct {
 func main() {
 	spec := workloads.Silo()
 	rig := harness.NewRig(spec, harness.RigOptions{
-		Seed:   23,
-		Rate:   0.3 * spec.FailureRPS,
-		Probes: true,
+		Seed:              23,
+		Rate:              0.3 * spec.FailureRPS,
+		Probes:            true,
+		Attribution:       true,
+		AttributionOracle: true, // exact per-tgid truth, for the agreement check
 	})
 	detector := core.NewSaturationDetector(6, 8)
 	slack := core.NewSlackEstimator()
@@ -74,6 +84,10 @@ func main() {
 			rps: m.RPSObsv, trueP99: m.Load.P99,
 		})
 	}
+	// Attribution read-out: the sketch path names the hot process; the
+	// exact oracle (a real deployment would not carry one) verifies it.
+	offenders := rig.Attr.TopOffenders(3)
+	exact := rig.Attr.ExactCounts()
 	rig.Close()
 
 	fmt.Printf("controller input: RPS_obsv + slack + variance alarm (no app metrics)\n\n")
@@ -84,4 +98,22 @@ func main() {
 	}
 	fmt.Println("\nScale-up actions cluster where the ground-truth p99 degrades: the")
 	fmt.Println("runtime managed the service without a single userspace metric.")
+
+	fmt.Printf("\nattribution (sketch, %d B of map space):\n", rig.Attr.Bytes())
+	for _, o := range offenders {
+		fmt.Printf("  tgid %d: ~%d syscalls, ~%d sends, ~%v busy\n",
+			o.TGID, o.Syscalls, o.Sends, o.Busy)
+	}
+	var hotExact uint64
+	for tgid, n := range exact {
+		if n > exact[hotExact] || (n == exact[hotExact] && tgid < hotExact) {
+			hotExact = tgid
+		}
+	}
+	if len(offenders) == 0 || offenders[0].TGID != hotExact {
+		fmt.Fprintf(os.Stderr, "attribution mismatch: sketch blames %v, oracle says tgid %d\n",
+			offenders, hotExact)
+		os.Exit(1)
+	}
+	fmt.Printf("sketch and exact oracle agree: tgid %d is the hot process\n", hotExact)
 }

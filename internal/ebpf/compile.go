@@ -1007,6 +1007,75 @@ func compileCall(in Instruction, pc, next int) cop {
 			m.setR0Scalar(0)
 			return next, nil
 		}
+	case HelperCMSUpdate:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.stats.MapOps++
+			cs, ok := m.regs[R1].m.(*CMS)
+			if !ok {
+				return 0, m.fault(pc, "cms_update: R1 is not a cms")
+			}
+			key, ok := fastSlice(m.regs[R2], 0, cs.keySize)
+			if !ok {
+				var err error
+				key, err = m.slice(pc, m.regs[R2], 0, cs.keySize)
+				if err != nil {
+					return 0, err
+				}
+			}
+			inc := m.regs[R3]
+			if !inc.isScalar() {
+				return 0, m.fault(pc, "cms_update: increment not scalar")
+			}
+			cs.Add(key, inc.scalar)
+			m.setR0Scalar(0)
+			return next, nil
+		}
+	case HelperCMSEstimate:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.stats.MapOps++
+			cs, ok := m.regs[R1].m.(*CMS)
+			if !ok {
+				return 0, m.fault(pc, "cms_estimate: R1 is not a cms")
+			}
+			key, ok := fastSlice(m.regs[R2], 0, cs.keySize)
+			if !ok {
+				var err error
+				key, err = m.slice(pc, m.regs[R2], 0, cs.keySize)
+				if err != nil {
+					return 0, err
+				}
+			}
+			m.setR0Scalar(cs.Estimate(key))
+			return next, nil
+		}
+	case HelperHashPipeInsert:
+		return func(m *vm) (int, error) {
+			m.stats.Instructions++
+			m.stats.HelperCalls++
+			m.stats.MapOps++
+			hp, ok := m.regs[R1].m.(*HashPipe)
+			if !ok {
+				return 0, m.fault(pc, "hashpipe_insert: R1 is not a hashpipe")
+			}
+			key, ok := fastSlice(m.regs[R2], 0, hp.keySize)
+			if !ok {
+				var err error
+				key, err = m.slice(pc, m.regs[R2], 0, hp.keySize)
+				if err != nil {
+					return 0, err
+				}
+			}
+			inc := m.regs[R3]
+			if !inc.isScalar() {
+				return 0, m.fault(pc, "hashpipe_insert: increment not scalar")
+			}
+			m.setR0Scalar(hp.Insert(key, inc.scalar))
+			return next, nil
+		}
 	}
 	id := in.Imm
 	return func(m *vm) (int, error) {

@@ -125,6 +125,96 @@ func (r *shadowRing) query(flag uint64) uint64 {
 	return 0
 }
 
+// shadowHashRow recomputes the sketch hash from its spec (seeded
+// FNV-1a, splitmix row seeds, murmur-style finalizer) in a separate
+// style from sketch.go.
+func shadowHashRow(row int, key []byte) uint64 {
+	seed := uint64(row+1) * 0x9e3779b97f4a7c15
+	seed = (seed ^ (seed >> 30)) * 0xbf58476d1ce4e5b9
+	seed = (seed ^ (seed >> 27)) * 0x94d049bb133111eb
+	seed ^= seed >> 31
+
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 0x100000001b3
+	}
+	for _, mul := range []uint64{0xff51afd7ed558ccd} {
+		h = (h ^ (h >> 33)) * mul
+	}
+	return h ^ (h >> 33)
+}
+
+type shadowCMS struct {
+	w, d  int
+	cnt   [][]uint64 // one slice per row
+	total uint64
+}
+
+func newShadowCMS(w, d int) *shadowCMS {
+	c := &shadowCMS{w: w, d: d}
+	for i := 0; i < d; i++ {
+		c.cnt = append(c.cnt, make([]uint64, w))
+	}
+	return c
+}
+
+func (c *shadowCMS) add(key []byte, inc uint64) {
+	for row := 0; row < c.d; row++ {
+		c.cnt[row][shadowHashRow(row, key)%uint64(c.w)] += inc
+	}
+	c.total += inc
+}
+
+func (c *shadowCMS) estimate(key []byte) uint64 {
+	best := ^uint64(0)
+	for row := 0; row < c.d; row++ {
+		if v := c.cnt[row][shadowHashRow(row, key)%uint64(c.w)]; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+type shadowPipeSlot struct {
+	key   []byte // nil = empty
+	count uint64
+}
+
+type shadowPipe struct {
+	stages, slots int
+	cells         [][]shadowPipeSlot // [stage][slot]
+}
+
+func newShadowPipe(stages, slots int) *shadowPipe {
+	p := &shadowPipe{stages: stages, slots: slots}
+	for i := 0; i < stages; i++ {
+		p.cells = append(p.cells, make([]shadowPipeSlot, slots))
+	}
+	return p
+}
+
+func (p *shadowPipe) insert(key []byte, inc uint64) uint64 {
+	carryKey := append([]byte(nil), key...)
+	carryCount := inc
+	for st := 0; st < p.stages; st++ {
+		cell := &p.cells[st][shadowHashRow(st, carryKey)%uint64(p.slots)]
+		if cell.key == nil {
+			cell.key, cell.count = carryKey, carryCount
+			return uint64(st + 1)
+		}
+		if bytes.Equal(cell.key, carryKey) {
+			cell.count += carryCount
+			return uint64(st + 1)
+		}
+		// Stage 1 always admits; later stages keep the larger.
+		if st == 0 || cell.count < carryCount {
+			cell.key, carryKey = carryKey, cell.key
+			cell.count, carryCount = carryCount, cell.count
+		}
+	}
+	return 0
+}
+
 // ---------------------------------------------------------------------
 // Reference evaluator.
 // ---------------------------------------------------------------------
@@ -177,6 +267,8 @@ type refMachine struct {
 	hash    *shadowHash
 	arr     *shadowArray
 	ring    *shadowRing
+	cms     *shadowCMS
+	pipe    *shadowPipe
 	nextTok int
 	insnN   int
 	helperN int
@@ -191,6 +283,8 @@ func newRefMachine(insns []Instruction, ctx []byte, env HelperEnv) *refMachine {
 		hash:   &shadowHash{max: diffHashMax, m: make(map[string][]byte)},
 		arr:    &shadowArray{},
 		ring:   &shadowRing{cap: diffRingCap},
+		cms:    newShadowCMS(diffCMSWidth, diffCMSDepth),
+		pipe:   newShadowPipe(diffPipeStages, diffPipeSlots),
 	}
 	for i := 0; i < diffArrayLen; i++ {
 		m.arr.slots = append(m.arr.slots, make([]byte, diffArrayVal))
@@ -208,6 +302,8 @@ func (m *refMachine) keySize(fd int32) int {
 		return 8
 	case 2:
 		return 4
+	case 4, 5:
+		return 8
 	}
 	return 0
 }
@@ -589,6 +685,37 @@ func (m *refMachine) call(id int32) error {
 			return errRefFault
 		}
 		setR0(refScalarVal(m.ring.query(m.regs[R2].n)))
+	case HelperCMSUpdate, HelperCMSEstimate:
+		fd, ok := mapArg()
+		if !ok || fd != 4 {
+			return errRefFault
+		}
+		key, err := m.slice(m.regs[R2], 0, m.keySize(fd))
+		if err != nil {
+			return err
+		}
+		if id == HelperCMSUpdate {
+			if !m.regs[R3].isScalar() {
+				return errRefFault
+			}
+			m.cms.add(key, m.regs[R3].n)
+			setR0(refScalarVal(0))
+		} else {
+			setR0(refScalarVal(m.cms.estimate(key)))
+		}
+	case HelperHashPipeInsert:
+		fd, ok := mapArg()
+		if !ok || fd != 5 {
+			return errRefFault
+		}
+		key, err := m.slice(m.regs[R2], 0, m.keySize(fd))
+		if err != nil {
+			return err
+		}
+		if !m.regs[R3].isScalar() {
+			return errRefFault
+		}
+		setR0(refScalarVal(m.pipe.insert(key, m.regs[R3].n)))
 	default:
 		return errRefFault
 	}
@@ -748,6 +875,13 @@ const (
 	diffArrayVal = 16
 	diffRingCap  = 256
 	diffCtxSize  = 64
+	// The sketches are deliberately tiny so random key streams force
+	// counter collisions (CMS) and eviction/carry-drop traffic
+	// (HashPipe) — the interesting divergent-semantics surface.
+	diffCMSWidth   = 8
+	diffCMSDepth   = 2
+	diffPipeStages = 2
+	diffPipeSlots  = 2
 )
 
 func diffMaps() map[int32]Map {
@@ -755,6 +889,8 @@ func diffMaps() map[int32]Map {
 		1: NewHashMap("h", 8, 8, diffHashMax),
 		2: NewArrayMap("a", diffArrayVal, diffArrayLen),
 		3: NewRingBuf("r", diffRingCap),
+		4: NewCMS("c", 8, diffCMSWidth, diffCMSDepth),
+		5: NewHashPipe("p", 8, diffPipeStages, diffPipeSlots),
 	}
 }
 
@@ -772,7 +908,7 @@ func vmRegDesc(w word) string {
 func refRegDesc(v refVal) string {
 	switch v.tag {
 	case rMapHandle:
-		return fmt.Sprintf("map(%s)", map[int32]string{1: "h", 2: "a", 3: "r"}[v.fd])
+		return fmt.Sprintf("map(%s)", map[int32]string{1: "h", 2: "a", 3: "r", 4: "c", 5: "p"}[v.fd])
 	case rStackPtr:
 		return fmt.Sprintf("stack+%d", v.off)
 	case rCtxPtr:
@@ -908,6 +1044,35 @@ func diffCompareMaps(fail func(string, ...any), label string, maps map[int32]Map
 			fail("ring record %d: %s %x, ref %x", i, label, recs[i], ref.ring.recs[i])
 		}
 	}
+	cms := maps[4].(*CMS)
+	if cms.total != ref.cms.total {
+		fail("cms total: %s %d, ref %d", label, cms.total, ref.cms.total)
+	}
+	for row := 0; row < diffCMSDepth; row++ {
+		for col := 0; col < diffCMSWidth; col++ {
+			got := cms.rows[row*diffCMSWidth+col]
+			if want := ref.cms.cnt[row][col]; got != want {
+				fail("cms counter [%d][%d]: %s %d, ref %d", row, col, label, got, want)
+			}
+		}
+	}
+	pipe := maps[5].(*HashPipe)
+	for st := 0; st < diffPipeStages; st++ {
+		for sl := 0; sl < diffPipeSlots; sl++ {
+			got := pipe.table[st*diffPipeSlots+sl]
+			want := ref.pipe.cells[st][sl]
+			if got.used != (want.key != nil) {
+				fail("pipe cell [%d][%d] occupancy: %s %v, ref %v", st, sl, label, got.used, want.key != nil)
+			}
+			if !got.used {
+				continue
+			}
+			if !bytes.Equal(got.key[:8], want.key) || got.count != want.count {
+				fail("pipe cell [%d][%d]: %s (%x, %d), ref (%x, %d)",
+					st, sl, label, got.key[:8], got.count, want.key, want.count)
+			}
+		}
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -955,7 +1120,7 @@ func genProgram(rng *rand.Rand) []Instruction {
 	// the verifier's state limit.
 	branchBudget := 8
 	for s := 0; s < steps; s++ {
-		prod := rng.Intn(14)
+		prod := rng.Intn(17)
 		if (prod == 7 || prod == 9) && branchBudget == 0 {
 			prod = 0
 		}
@@ -1094,6 +1259,29 @@ func genProgram(rng *rand.Rand) []Instruction {
 		case 12: // ringbuf query (flag 4 is unknown -> 0, as on Linux)
 			a.EmitWide(LoadMapFD(R1, 3))
 			a.Emit(Mov64Imm(R2, int32(rng.Intn(5))), Call(HelperRingbufQuery))
+		case 14: // cms update (small key domain forces counter collisions)
+			a.Emit(StoreImm(R10, -8, key(), SizeDW))
+			initialized[-8] = true
+			a.EmitWide(LoadMapFD(R1, 4))
+			a.Emit(
+				Mov64Reg(R2, R10), Add64Imm(R2, -8),
+				Mov64Imm(R3, imm()),
+				Call(HelperCMSUpdate),
+			)
+		case 15: // cms estimate
+			a.Emit(StoreImm(R10, -8, key(), SizeDW))
+			initialized[-8] = true
+			a.EmitWide(LoadMapFD(R1, 4))
+			a.Emit(Mov64Reg(R2, R10), Add64Imm(R2, -8), Call(HelperCMSEstimate))
+		case 16: // hashpipe insert (tiny pipe forces evictions and drops)
+			a.Emit(StoreImm(R10, -8, key(), SizeDW))
+			initialized[-8] = true
+			a.EmitWide(LoadMapFD(R1, 5))
+			a.Emit(
+				Mov64Reg(R2, R10), Add64Imm(R2, -8),
+				Mov64Imm(R3, 1+int32(rng.Intn(16))),
+				Call(HelperHashPipeInsert),
+			)
 		default: // atomic add on an initialized stack slot
 			s := initSlot()
 			if rng.Intn(2) == 0 {
@@ -1236,6 +1424,26 @@ func FuzzDifferential(f *testing.F) {
 	for i := 0; i < 8; i++ {
 		f.Add(Encode(genProgram(rng)))
 	}
+	// Dedicated sketch-helper seeds: a cms_update/cms_estimate
+	// round-trip and a hashpipe_insert burst that overflows the tiny
+	// pipe, so mutation starts from programs that already reach the
+	// sketch code paths.
+	a := NewAssembler()
+	a.Emit(StoreImm(R10, -8, 3, SizeDW))
+	a.EmitWide(LoadMapFD(R1, 4))
+	a.Emit(Mov64Reg(R2, R10), Add64Imm(R2, -8), Mov64Imm(R3, 7), Call(HelperCMSUpdate))
+	a.EmitWide(LoadMapFD(R1, 4))
+	a.Emit(Mov64Reg(R2, R10), Add64Imm(R2, -8), Call(HelperCMSEstimate), Exit())
+	f.Add(Encode(a.MustAssemble()))
+
+	a = NewAssembler()
+	for k := int32(0); k < 6; k++ {
+		a.Emit(StoreImm(R10, -8, k, SizeDW))
+		a.EmitWide(LoadMapFD(R1, 5))
+		a.Emit(Mov64Reg(R2, R10), Add64Imm(R2, -8), Mov64Imm(R3, k+1), Call(HelperHashPipeInsert))
+	}
+	a.Emit(Exit())
+	f.Add(Encode(a.MustAssemble()))
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		insns, err := Decode(raw)
 		if err != nil || len(insns) == 0 {

@@ -121,6 +121,18 @@ const (
 	HelperGetCurrentPidTgid = 14
 	HelperRingbufOutput     = 130
 	HelperRingbufQuery      = 134
+
+	// Sketch-map helpers. These have no Linux equivalent; they live in
+	// the 200 range, clear of the real helper numbering, and operate on
+	// the CMS / HashPipe map types only (the verifier enforces the
+	// handle type, exactly as it does for the ringbuf helpers).
+	//
+	//	cms_update(map, key_ptr, inc)      -> 0
+	//	cms_estimate(map, key_ptr)         -> estimate
+	//	hashpipe_insert(map, key_ptr, inc) -> settled stage (0 = dropped)
+	HelperCMSUpdate      = 200
+	HelperCMSEstimate    = 201
+	HelperHashPipeInsert = 202
 )
 
 // bpf_ringbuf_query flags, matching the Linux uapi BPF_RB_* values.

@@ -1,0 +1,50 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// BenchmarkSketchHotPath measures the compiled sketch helper chain the
+// attribution probe rides — one cms_update + cms_estimate +
+// hashpipe_insert per program run — and reports, alongside ns/op, the
+// sustained update rate and the count-min estimate error observed at
+// the program's width×depth after the run. scripts/bench.sh records
+// these in BENCH_sketch.json so successive PRs can diff both the cost
+// and the accuracy of the fixed-space path.
+func BenchmarkSketchHotPath(b *testing.B) {
+	const keys = 512
+	p, cms, _ := sketchHotProgram(b)
+	ctx := make([]byte, 16)
+	env := &FixedEnv{}
+	binary.LittleEndian.PutUint64(ctx[8:16], 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(ctx[0:8], uint64(i)%keys)
+		if _, _, err := p.Run(ctx, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+
+	// Round-robin truth: key k received ceil/floor(N/keys) increments.
+	// Mean absolute estimate error over all keys is the accuracy figure
+	// for this width×depth at this fill level.
+	key := make([]byte, 8)
+	var errSum float64
+	for k := uint64(0); k < keys; k++ {
+		truth := uint64(b.N) / keys
+		if k < uint64(b.N)%keys {
+			truth++
+		}
+		binary.LittleEndian.PutUint64(key, k)
+		est := cms.Estimate(key)
+		if est < truth {
+			b.Fatalf("key %d: underestimate %d < %d", k, est, truth)
+		}
+		errSum += float64(est - truth)
+	}
+	b.ReportMetric(errSum/keys, "err/query")
+	b.ReportMetric(float64(cms.Bytes()), "sketchB")
+}

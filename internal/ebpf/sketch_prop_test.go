@@ -1,0 +1,250 @@
+package ebpf
+
+// Property tests for the sketch maps' probabilistic guarantees, pinned
+// against exact-counter oracles over seeded random streams:
+//
+//   - count-min never underestimates, and overestimates by more than
+//     εN (ε = e/width) on at most a δ = e^-depth fraction of queries —
+//     the classic per-query confidence bound, checked empirically on
+//     uniform and Zipf-skewed key streams;
+//   - HashPipe recall@K against the exact top-K stays above a
+//     reference threshold under heavy-tailed (Zipf) traffic.
+//
+// Streams are seeded, so every run checks the same instances; a
+// failure here is a semantic regression, not flake.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sketchKey widens a small key ID into a well-mixed 8-byte key, so the
+// key bytes exercise the whole hash input space.
+func sketchKey(id uint64) []byte {
+	z := (id + 1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	k := make([]byte, 8)
+	binary.LittleEndian.PutUint64(k, z^(z>>27))
+	return k
+}
+
+// stream generates n (keyID, inc) update pairs. zipf skews the key
+// choice heavy-tailed (s=1.2), as per-PID traffic is in practice;
+// uniform spreads it flat.
+func stream(rng *rand.Rand, n, keys int, zipfSkew bool) [][2]uint64 {
+	var z *rand.Zipf
+	if zipfSkew {
+		z = rand.NewZipf(rng, 1.2, 1, uint64(keys-1))
+	}
+	out := make([][2]uint64, n)
+	for i := range out {
+		var id uint64
+		if zipfSkew {
+			id = z.Uint64()
+		} else {
+			id = uint64(rng.Intn(keys))
+		}
+		out[i] = [2]uint64{id, uint64(1 + rng.Intn(4))}
+	}
+	return out
+}
+
+func TestCMSBoundsProperty(t *testing.T) {
+	cases := []struct {
+		width, depth int
+		keys         int
+		updates      int
+		zipf         bool
+	}{
+		{width: 256, depth: 4, keys: 2000, updates: 50_000, zipf: false},
+		{width: 256, depth: 4, keys: 2000, updates: 50_000, zipf: true},
+		{width: 1024, depth: 4, keys: 20_000, updates: 100_000, zipf: true},
+		{width: 4096, depth: 4, keys: 50_000, updates: 200_000, zipf: true},
+		{width: 512, depth: 8, keys: 10_000, updates: 100_000, zipf: false},
+		{width: 64, depth: 2, keys: 5000, updates: 50_000, zipf: true},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("w%d_d%d_keys%d_zipf%v", tc.width, tc.depth, tc.keys, tc.zipf)
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			c := NewCMS("c", 8, tc.width, tc.depth)
+			oracle := make(map[uint64]uint64)
+			for _, up := range stream(rng, tc.updates, tc.keys, tc.zipf) {
+				c.Add(sketchKey(up[0]), up[1])
+				oracle[up[0]] += up[1]
+			}
+
+			bound := c.ErrorBound()
+			if want := uint64(float64(c.Total()) * c.Epsilon()); bound < want {
+				t.Fatalf("ErrorBound %d below εN = %d", bound, want)
+			}
+			var violations int
+			for id, truth := range oracle {
+				est := c.Estimate(sketchKey(id))
+				if est < truth {
+					t.Fatalf("cms underestimated key %d: est %d < true %d", id, est, truth)
+				}
+				if est-truth > bound {
+					violations++
+				}
+			}
+			// The εN bound holds per query with probability >= 1−δ;
+			// check the empirical violation fraction against δ.
+			frac := float64(violations) / float64(len(oracle))
+			if frac > c.Delta() {
+				t.Fatalf("εN bound violated on %.4f of %d keys, above δ = %.4f (bound %d, N %d)",
+					frac, len(oracle), c.Delta(), bound, c.Total())
+			}
+			t.Logf("keys %d, N %d, bound %d, violations %.4f (δ %.4f)",
+				len(oracle), c.Total(), bound, frac, c.Delta())
+		})
+	}
+}
+
+func TestHashPipeRecallProperty(t *testing.T) {
+	cases := []struct {
+		stages, slots, k int
+		keys, updates    int
+		threshold        float64
+	}{
+		{stages: 4, slots: 256, k: 10, keys: 20_000, updates: 200_000, threshold: 0.9},
+		{stages: 6, slots: 512, k: 20, keys: 50_000, updates: 300_000, threshold: 0.9},
+		{stages: 2, slots: 1024, k: 10, keys: 100_000, updates: 400_000, threshold: 0.9},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("st%d_sl%d_k%d_keys%d", tc.stages, tc.slots, tc.k, tc.keys)
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(2000 + ci)))
+			h := NewHashPipe("p", 8, tc.stages, tc.slots)
+			oracle := make(map[uint64]uint64)
+			for _, up := range stream(rng, tc.updates, tc.keys, true) {
+				h.Insert(sketchKey(up[0]), up[1])
+				oracle[up[0]] += up[1]
+			}
+			got := recallAtK(h, oracle, tc.k)
+			if got < tc.threshold {
+				t.Fatalf("recall@%d = %.3f, below threshold %.3f", tc.k, got, tc.threshold)
+			}
+			t.Logf("recall@%d = %.3f (threshold %.3f)", tc.k, got, tc.threshold)
+		})
+	}
+}
+
+// recallAtK computes |pipe topK ∩ exact topK| / K against an exact
+// counter oracle keyed by key ID.
+func recallAtK(h *HashPipe, oracle map[uint64]uint64, k int) float64 {
+	exact := exactTopK(oracle, k)
+	got := make(map[string]bool, k)
+	for _, e := range h.TopK(k) {
+		got[string(e.Key)] = true
+	}
+	hits := 0
+	for _, id := range exact {
+		if got[string(sketchKey(id))] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+// exactTopK ranks the oracle's key IDs by descending true count (ID
+// ties ascending) and returns the top k.
+func exactTopK(oracle map[uint64]uint64, k int) []uint64 {
+	ids := make([]uint64, 0, len(oracle))
+	for id := range oracle {
+		ids = append(ids, id)
+	}
+	// Selection sort over the top k: deterministic, and k is tiny.
+	for i := 0; i < k && i < len(ids); i++ {
+		best := i
+		for j := i + 1; j < len(ids); j++ {
+			ci, cb := oracle[ids[j]], oracle[ids[best]]
+			if ci > cb || (ci == cb && ids[j] < ids[best]) {
+				best = j
+			}
+		}
+		ids[i], ids[best] = ids[best], ids[i]
+	}
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// TestCMSMergeCommutative pins the merge invariant the fleet
+// aggregation plane relies on: splitting one stream across two sketches
+// and merging — in either order — reproduces the single-sketch state
+// bit-for-bit.
+func TestCMSMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	whole := NewCMS("w", 8, 512, 4)
+	a := NewCMS("a", 8, 512, 4)
+	b := NewCMS("b", 8, 512, 4)
+	for i, up := range stream(rng, 40_000, 3000, true) {
+		k := sketchKey(up[0])
+		whole.Add(k, up[1])
+		if i%2 == 0 {
+			a.Add(k, up[1])
+		} else {
+			b.Add(k, up[1])
+		}
+	}
+	ab := a.Clone()
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba := b.Clone()
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range whole.rows {
+		if ab.rows[i] != whole.rows[i] || ba.rows[i] != whole.rows[i] {
+			t.Fatalf("merge diverged from the unsplit sketch at counter %d: whole %d, a+b %d, b+a %d",
+				i, whole.rows[i], ab.rows[i], ba.rows[i])
+		}
+	}
+	if ab.total != whole.total || ba.total != whole.total {
+		t.Fatalf("merge totals: whole %d, a+b %d, b+a %d", whole.total, ab.total, ba.total)
+	}
+	if err := a.Merge(NewCMS("x", 8, 256, 4)); err != ErrSketchGeometry {
+		t.Fatalf("geometry mismatch merge: got %v, want ErrSketchGeometry", err)
+	}
+}
+
+// TestHashPipeMergeSymmetric pins that merge(a,b) and merge(b,a) leave
+// bit-identical tables (the deterministic union-reinsert contract).
+func TestHashPipeMergeSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	a := NewHashPipe("a", 8, 4, 64)
+	b := NewHashPipe("b", 8, 4, 64)
+	for i, up := range stream(rng, 30_000, 2000, true) {
+		k := sketchKey(up[0])
+		if i%2 == 0 {
+			a.Insert(k, up[1])
+		} else {
+			b.Insert(k, up[1])
+		}
+	}
+	ab := a.Clone()
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba := b.Clone()
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ab.table {
+		x, y := ab.table[i], ba.table[i]
+		if x.used != y.used || x.count != y.count || x.key != y.key {
+			t.Fatalf("merge order changed pipe cell %d: a+b (%v,%x,%d), b+a (%v,%x,%d)",
+				i, x.used, x.key, x.count, y.used, y.key, y.count)
+		}
+	}
+	if err := a.Merge(NewHashPipe("x", 8, 3, 64)); err != ErrSketchGeometry {
+		t.Fatalf("geometry mismatch merge: got %v, want ErrSketchGeometry", err)
+	}
+}

@@ -301,7 +301,8 @@ func helperKnown(id int32) bool {
 	switch id {
 	case HelperMapLookupElem, HelperMapUpdateElem, HelperMapDeleteElem,
 		HelperKtimeGetNS, HelperGetSMPProcID, HelperGetCurrentPidTgid,
-		HelperRingbufOutput, HelperRingbufQuery:
+		HelperRingbufOutput, HelperRingbufQuery,
+		HelperCMSUpdate, HelperCMSEstimate, HelperHashPipeInsert:
 		return true
 	}
 	return false
@@ -778,6 +779,9 @@ func (v *verifier) checkCall(pc int, id int32, st *absState) error {
 		if m.t != tMapHandle {
 			return v.errf(pc, "helper arg R1 must be a map handle, got %s", m.t)
 		}
+		if isSketch(m.m) {
+			return v.errf(pc, "generic map helper on sketch map %q (use the cms/hashpipe helpers)", m.m.Name())
+		}
 		if err := v.checkReadable(pc, st, arg(R2), m.m.KeySize(), "map key (R2)"); err != nil {
 			return err
 		}
@@ -790,6 +794,9 @@ func (v *verifier) checkCall(pc int, id int32, st *absState) error {
 		m := arg(R1)
 		if m.t != tMapHandle {
 			return v.errf(pc, "helper arg R1 must be a map handle, got %s", m.t)
+		}
+		if isSketch(m.m) {
+			return v.errf(pc, "generic map helper on sketch map %q (use the cms/hashpipe helpers)", m.m.Name())
 		}
 		if err := v.checkReadable(pc, st, arg(R2), m.m.KeySize(), "map key (R2)"); err != nil {
 			return err
@@ -832,6 +839,38 @@ func (v *verifier) checkCall(pc int, id int32, st *absState) error {
 			return v.errf(pc, "ringbuf_query on non-ringbuf map %q", m.m.Name())
 		}
 		if err := requireScalar(R2, "ringbuf_query flags (R2)"); err != nil {
+			return err
+		}
+		ret = scalarReg()
+	case HelperCMSUpdate, HelperCMSEstimate:
+		m := arg(R1)
+		if m.t != tMapHandle {
+			return v.errf(pc, "helper arg R1 must be a map handle, got %s", m.t)
+		}
+		if _, ok := m.m.(*CMS); !ok {
+			return v.errf(pc, "cms helper on non-cms map %q", m.m.Name())
+		}
+		if err := v.checkReadable(pc, st, arg(R2), m.m.KeySize(), "cms key (R2)"); err != nil {
+			return err
+		}
+		if id == HelperCMSUpdate {
+			if err := requireScalar(R3, "cms increment (R3)"); err != nil {
+				return err
+			}
+		}
+		ret = scalarReg()
+	case HelperHashPipeInsert:
+		m := arg(R1)
+		if m.t != tMapHandle {
+			return v.errf(pc, "helper arg R1 must be a map handle, got %s", m.t)
+		}
+		if _, ok := m.m.(*HashPipe); !ok {
+			return v.errf(pc, "hashpipe_insert on non-hashpipe map %q", m.m.Name())
+		}
+		if err := v.checkReadable(pc, st, arg(R2), m.m.KeySize(), "hashpipe key (R2)"); err != nil {
+			return err
+		}
+		if err := requireScalar(R3, "hashpipe increment (R3)"); err != nil {
 			return err
 		}
 		ret = scalarReg()

@@ -19,6 +19,8 @@ func reasonMaps() map[int32]Map {
 		1: NewHashMap("h", 8, 8, 16),
 		2: NewArrayMap("a", 16, 4),
 		3: NewRingBuf("r", 4096),
+		4: NewCMS("c", 8, 64, 2),
+		5: NewHashPipe("p", 8, 2, 8),
 	}
 }
 
@@ -314,6 +316,22 @@ func rejectionCases() []rejectionCase {
 			wide(LoadMapFD(R1, 3),
 				ret0(Mov64Reg(R2, R10), Call(HelperRingbufQuery))...),
 			"ringbuf_query flags (R2) must be a scalar, got stack_ptr"},
+		{"cms_helper_wrong_map",
+			wide(LoadMapFD(R1, 1),
+				ret0(Mov64Reg(R2, R10), Add64Imm(R2, -8),
+					Call(HelperCMSEstimate))...),
+			`cms helper on non-cms map "h"`},
+		{"hashpipe_insert_wrong_map",
+			wide(LoadMapFD(R1, 4),
+				ret0(Mov64Reg(R2, R10), Add64Imm(R2, -8),
+					Mov64Imm(R3, 1), Call(HelperHashPipeInsert))...),
+			`hashpipe_insert on non-hashpipe map "c"`},
+		{"generic_helper_on_sketch",
+			cat([]Instruction{Mov64Imm(R2, 0), StoreMem(R10, -8, R2, SizeDW)},
+				wide(LoadMapFD(R1, 4),
+					ret0(Mov64Reg(R2, R10), Add64Imm(R2, -8),
+						Call(HelperMapLookupElem))...)),
+			`generic map helper on sketch map "c"`},
 	}
 }
 

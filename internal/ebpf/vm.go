@@ -646,7 +646,8 @@ func (m *vm) call(pc int, id int32) error {
 
 	switch id {
 	case HelperMapLookupElem, HelperMapUpdateElem, HelperMapDeleteElem,
-		HelperRingbufOutput, HelperRingbufQuery:
+		HelperRingbufOutput, HelperRingbufQuery,
+		HelperCMSUpdate, HelperCMSEstimate, HelperHashPipeInsert:
 		m.stats.MapOps++
 	}
 
@@ -743,6 +744,48 @@ func (m *vm) call(pc int, id int32) error {
 			return m.fault(pc, "ringbuf_query: flags not scalar")
 		}
 		setR0(scalarWord(rb.Query(flags.scalar)))
+		return nil
+	case HelperCMSUpdate:
+		cs, ok := r(R1).m.(*CMS)
+		if !ok {
+			return m.fault(pc, "cms_update: R1 is not a cms")
+		}
+		key, err := m.slice(pc, r(R2), 0, cs.KeySize())
+		if err != nil {
+			return err
+		}
+		inc := r(R3)
+		if !inc.isScalar() {
+			return m.fault(pc, "cms_update: increment not scalar")
+		}
+		cs.Add(key, inc.scalar)
+		setR0(scalarWord(0))
+		return nil
+	case HelperCMSEstimate:
+		cs, ok := r(R1).m.(*CMS)
+		if !ok {
+			return m.fault(pc, "cms_estimate: R1 is not a cms")
+		}
+		key, err := m.slice(pc, r(R2), 0, cs.KeySize())
+		if err != nil {
+			return err
+		}
+		setR0(scalarWord(cs.Estimate(key)))
+		return nil
+	case HelperHashPipeInsert:
+		hp, ok := r(R1).m.(*HashPipe)
+		if !ok {
+			return m.fault(pc, "hashpipe_insert: R1 is not a hashpipe")
+		}
+		key, err := m.slice(pc, r(R2), 0, hp.KeySize())
+		if err != nil {
+			return err
+		}
+		inc := r(R3)
+		if !inc.isScalar() {
+			return m.fault(pc, "hashpipe_insert: increment not scalar")
+		}
+		setR0(scalarWord(hp.Insert(key, inc.scalar)))
 		return nil
 	}
 	return m.fault(pc, "unknown helper %d", id)

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// attrCluster builds the small attribution-enabled cluster the tests
+// share: three heterogeneous nodes, short epochs, no scrape misses (so
+// every epoch carries a full sketch fold).
+func attrCluster(par int) *Cluster {
+	return NewCluster(Options{
+		Nodes: DefaultSpecs(3),
+		Level: 0.5,
+		Scrape: ScrapeConfig{
+			Interval: 100 * time.Millisecond,
+			Skew:     20 * time.Millisecond,
+		},
+		TopK:        3,
+		Attribution: true,
+		Warmup:      200 * time.Millisecond,
+		Parallelism: par,
+	})
+}
+
+// TestFleetAttributionRollup checks the sketch plane end to end: with
+// Options.Attribution on, every epoch's rollup carries a cluster-wide
+// offender ranking with non-zero sketch estimates, ordered by estimated
+// syscall count.
+func TestFleetAttributionRollup(t *testing.T) {
+	c := attrCluster(1)
+	defer c.Close()
+	rollups := c.Run(3)
+	for _, r := range rollups {
+		if len(r.TopOffenders) == 0 {
+			t.Fatalf("epoch %d: no offenders despite Attribution on", r.Epoch)
+		}
+		for i, o := range r.TopOffenders {
+			if o.Syscalls == 0 {
+				t.Errorf("epoch %d offender %d: zero syscall estimate", r.Epoch, i)
+			}
+			if i > 0 && o.Syscalls > r.TopOffenders[i-1].Syscalls {
+				t.Errorf("epoch %d: offenders out of order at %d: %d > %d",
+					r.Epoch, i, o.Syscalls, r.TopOffenders[i-1].Syscalls)
+			}
+		}
+	}
+	out := RenderRollup(rollups[len(rollups)-1])
+	if !strings.Contains(out, "top offenders") {
+		t.Errorf("RenderRollup misses offenders section:\n%s", out)
+	}
+}
+
+// TestFleetAttributionParallelDeterminism pins the merge invariant: the
+// rollup's offender ranking — a node-ID-order fold of per-node sketch
+// clones — is bit-identical at any lockstep worker count.
+func TestFleetAttributionParallelDeterminism(t *testing.T) {
+	run := func(par int) []byte {
+		c := attrCluster(par)
+		defer c.Close()
+		data, err := json.Marshal(c.Run(3))
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	base := run(1)
+	for _, par := range []int{2, 3} {
+		if got := run(par); !bytes.Equal(got, base) {
+			t.Errorf("parallelism %d diverges from sequential run:\n seq: %s\n par: %s",
+				par, base, got)
+		}
+	}
+}
+
+// TestFleetAttributionOffByDefault pins the opt-in: a cluster without
+// Options.Attribution produces rollups with no offender section, so the
+// probe's per-syscall cost never perturbs default-configuration runs.
+func TestFleetAttributionOffByDefault(t *testing.T) {
+	c := NewCluster(Options{
+		Nodes:       DefaultSpecs(2),
+		Level:       0.5,
+		Scrape:      ScrapeConfig{Interval: 100 * time.Millisecond},
+		Warmup:      200 * time.Millisecond,
+		Parallelism: 1,
+	})
+	defer c.Close()
+	for _, r := range c.Run(2) {
+		if r.TopOffenders != nil {
+			t.Fatalf("epoch %d: offenders present without Attribution", r.Epoch)
+		}
+	}
+}

@@ -71,6 +71,14 @@ type Options struct {
 	// TopK sizes the rollup rankings (0 defaults to 3).
 	TopK int
 
+	// Attribution attaches the sketch-based attribution pipeline on
+	// every node (RigOptions.Attribution) and folds the nodes' sketch
+	// scrapes into per-epoch cluster-wide top-K offender rankings.
+	// Off by default: the extra probe charges per-syscall cost to the
+	// observed kernels, so enabling it perturbs (deterministically)
+	// the other metrics.
+	Attribution bool
+
 	// Warmup is simulated time driven before measurement and scraping
 	// begin (0 defaults to 1s).
 	Warmup time.Duration
@@ -137,7 +145,7 @@ func NewCluster(opt Options) *Cluster {
 	}
 	c := &Cluster{opt: opt, step: sim.NewLockstep(opt.Parallelism)}
 	for i, spec := range opt.Nodes {
-		n := newNode(i, spec, opt.Seed+int64(i)*nodeSeedStride, opt.Level, opt.Clock)
+		n := newNode(i, spec, opt.Seed+int64(i)*nodeSeedStride, opt.Level, opt.Clock, opt.Attribution)
 		c.Nodes = append(c.Nodes, n)
 		c.step.Add(n.Rig.Env)
 	}
@@ -204,6 +212,14 @@ func (c *Cluster) ScrapeEpoch() Rollup {
 		}
 		n.last = Sample{Node: n.ID, At: targets[i], Metrics: metrics, Raw: raw}
 		n.lastOK = true
+		if n.Rig.Attr != nil {
+			// Scrape the sketch plane alongside the text plane: a
+			// consistent clone this epoch's rollup (and any later one,
+			// if scrapes start missing) can merge without racing the
+			// probe.
+			n.lastAttr = n.Rig.Attr.Scrape()
+			n.lastAttrOK = true
+		}
 	}
 	return computeRollup(c.epoch, nominal, c.Nodes, c.opt.TopK, missed, cfg.Staleness)
 }

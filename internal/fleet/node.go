@@ -8,6 +8,7 @@ import (
 	"reqlens/internal/faults"
 	"reqlens/internal/harness"
 	"reqlens/internal/machine"
+	"reqlens/internal/probes"
 	"reqlens/internal/sim"
 	"reqlens/internal/telemetry"
 	"reqlens/internal/workloads"
@@ -99,23 +100,30 @@ type Node struct {
 	last   Sample
 	lastOK bool
 	missed int
+
+	// Sketch-plane state: the last successful scrape's attribution
+	// sketches (cloned at scrape time, so rollup merges never touch
+	// live probe maps). Only populated when Options.Attribution is on.
+	lastAttr   probes.AttrSketches
+	lastAttrOK bool
 }
 
 // newNode builds one member: its environment, rig and per-node
 // registry. level is the cluster load level; the node's offered rate is
 // level * FailureRPS * weight.
-func newNode(id int, spec NodeSpec, seed int64, level float64, clock *sim.Clock) *Node {
+func newNode(id int, spec NodeSpec, seed int64, level float64, clock *sim.Clock, attribution bool) *Node {
 	reg := telemetry.New()
 	rate := level * spec.Workload.FailureRPS * spec.weight()
 	netem := spec.Plan.Netem // link shaping is a whole-run property
 	rig := harness.NewRig(spec.Workload, harness.RigOptions{
-		Seed:      seed,
-		Profile:   spec.Profile,
-		Netem:     netem,
-		Rate:      rate,
-		Probes:    true,
-		Telemetry: reg,
-		Clock:     clock,
+		Seed:        seed,
+		Profile:     spec.Profile,
+		Netem:       netem,
+		Rate:        rate,
+		Probes:      true,
+		Attribution: attribution,
+		Telemetry:   reg,
+		Clock:       clock,
 	})
 	return &Node{
 		ID:   id,

@@ -69,6 +69,14 @@ func RenderRollup(r Rollup) string {
 		}
 		b.WriteByte('\n')
 	}
+	if len(r.TopOffenders) > 0 {
+		b.WriteString("  top offenders (sketch-estimated):")
+		for _, o := range r.TopOffenders {
+			fmt.Fprintf(&b, "  tgid%d=%d syscalls (%d sends, %v busy)",
+				o.TGID, o.Syscalls, o.Sends, o.Busy)
+		}
+		b.WriteByte('\n')
+	}
 	if len(r.Stale) > 0 {
 		ids := make([]string, len(r.Stale))
 		for i, id := range r.Stale {

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
+	"reqlens/internal/probes"
 	"reqlens/internal/sim"
 )
 
@@ -67,6 +69,17 @@ type Rollup struct {
 	// across runs and worker counts.
 	TopSaturated []NodeStat `json:",omitempty"`
 	TopNoisy     []NodeStat `json:",omitempty"`
+
+	// TopOffenders ranks processes cluster-wide by sketch-estimated
+	// syscall activity: the fresh nodes' attribution scrapes merged in
+	// node-ID order (count-min merge is element-wise addition and
+	// HashPipe merge a deterministic union-reinsert, so the fold is
+	// commutative and bit-stable at any worker count). Nil unless the
+	// cluster runs with Options.Attribution. In this model every node's
+	// kernel assigns the same tgids, so a row aggregates the same
+	// logical process across nodes — the "which service is hammering
+	// the fleet" view.
+	TopOffenders []probes.Offender `json:",omitempty"`
 }
 
 // saturationThreshold is the observed-saturation level at which a node
@@ -109,7 +122,37 @@ func computeRollup(epoch int, at sim.Time, nodes []*Node, topK int, missed int, 
 	}
 	r.TopSaturated = topBy(stats, topK, func(a, b NodeStat) bool { return a.Saturation > b.Saturation })
 	r.TopNoisy = topBy(stats, topK, func(a, b NodeStat) bool { return a.SendVarUS2 > b.SendVarUS2 })
+	r.TopOffenders = mergeOffenders(nodes, at, staleness, topK)
 	return r
+}
+
+// mergeOffenders folds the fresh nodes' attribution scrapes (same
+// staleness predicate as the metric fold) into one cluster-wide sketch
+// set and reads its top-K. The accumulator is a clone, so per-node
+// scrapes survive for later epochs. Returns nil when no fresh node
+// carries sketches (attribution off, or all stale).
+func mergeOffenders(nodes []*Node, at sim.Time, staleness time.Duration, topK int) []probes.Offender {
+	var acc probes.AttrSketches
+	merged := false
+	for _, n := range nodes {
+		if !n.lastAttrOK || !n.lastOK || at.Sub(n.last.At) > staleness {
+			continue
+		}
+		if !merged {
+			acc = n.lastAttr.Clone()
+			merged = true
+			continue
+		}
+		if err := acc.Merge(n.lastAttr); err != nil {
+			// Every node builds its sketches from the same defaulted
+			// AttributionConfig; a geometry mismatch is a bug.
+			panic(fmt.Sprintf("fleet: attribution merge: %v", err))
+		}
+	}
+	if !merged {
+		return nil
+	}
+	return acc.TopOffenders(topK)
 }
 
 // topBy returns the k highest-ranked stats under less (a strict

@@ -1,0 +1,73 @@
+package harness
+
+import "testing"
+
+// quickCards is the reduced sweep used by tests and the CI smoke leg.
+func quickCards() []int { return []int{100, 1_000, 10_000} }
+
+// TestCardinalitySweepBounds checks the sweep's own acceptance
+// criteria at quick scale: the count-min violation fraction stays
+// within δ at every cardinality and top-K recall is perfect while the
+// key space still fits the pipe.
+func TestCardinalitySweepBounds(t *testing.T) {
+	r := CardinalitySweep(quickCards(), Quick())
+	if len(r.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Gap {
+			t.Fatalf("unexpected gap at keys=%d", p.Keys)
+		}
+		if !p.WithinBound {
+			t.Fatalf("keys=%d: violation fraction %.4f above δ %.4f", p.Keys, p.ViolationFrac, p.Delta)
+		}
+		if p.RecallAtK < 0.9 {
+			t.Fatalf("keys=%d: recall@%d = %.2f, want >= 0.9", p.Keys, p.K, p.RecallAtK)
+		}
+		if p.Updates != 3*uint64(p.Keys) {
+			t.Fatalf("keys=%d: updates = %d, want %d (one pass + 2x zipf)", p.Keys, p.Updates, 3*p.Keys)
+		}
+	}
+	// Memory crossover: the fixed sketch loses at 100 keys and wins by
+	// 10^4; full scale (1e6) reaches the >= 100x regime.
+	if r.Points[0].MemRatio >= 1 {
+		t.Fatalf("100 keys: mem ratio %.2f, expected exact map to win", r.Points[0].MemRatio)
+	}
+	if r.Points[2].MemRatio <= 1 {
+		t.Fatalf("10k keys: mem ratio %.2f, expected sketch to win", r.Points[2].MemRatio)
+	}
+}
+
+// TestCardinalitySweepParallelDeterminism pins the engine convention:
+// the sweep's bytes are identical at any Parallelism.
+func TestCardinalitySweepParallelDeterminism(t *testing.T) {
+	seq := Quick()
+	seq.Parallelism = 1
+	par := Quick()
+	par.Parallelism = 3
+	a := CardinalitySweep(quickCards(), seq)
+	b := CardinalitySweep(quickCards(), par)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across parallelism:\n  seq: %+v\n  par: %+v",
+				i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+// TestGoldenCardinality pins the quick sweep byte-for-byte: the sketch
+// hash functions, the compiled helper path and the Zipf stream all
+// feed these numbers.
+func TestGoldenCardinality(t *testing.T) {
+	if raceEnabled {
+		t.Skip("byte-exact regression compare; re-running under -race adds no coverage")
+	}
+	r := CardinalitySweep(quickCards(), Quick())
+	checkGolden(t, "cardinality.json", r)
+	// The rendered table is goldened too: `make check` diffs the real
+	// binary's `reqlens cardinality -quick` output against this file.
+	checkGoldenBytes(t, "cardinality.txt", []byte(RenderCardinality(r)))
+}

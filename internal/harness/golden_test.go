@@ -34,7 +34,14 @@ func checkGolden(t *testing.T, name string, v any) {
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
-	got = append(got, '\n')
+	checkGoldenBytes(t, name, append(got, '\n'))
+}
+
+// checkGoldenBytes is checkGolden for pre-serialized content — rendered
+// tables the CLI also prints, so `make check` can diff the real
+// binary's output against the same fixture.
+func checkGoldenBytes(t *testing.T, name string, got []byte) {
+	t.Helper()
 	path := filepath.Join("testdata", "golden", name)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

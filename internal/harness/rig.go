@@ -9,6 +9,7 @@ import (
 	"reqlens/internal/loadgen"
 	"reqlens/internal/machine"
 	"reqlens/internal/netsim"
+	"reqlens/internal/probes"
 	"reqlens/internal/sim"
 	"reqlens/internal/telemetry"
 	"reqlens/internal/workloads"
@@ -31,6 +32,16 @@ type RigOptions struct {
 	// core.DefaultStreamBytes). Deliberately undersizing it exercises
 	// the drop path.
 	StreamBytes int
+
+	// Attribution attaches the sketch-based attribution pipeline
+	// (core.Attribution): an unfiltered sys_enter probe attributing
+	// syscall activity to every process through count-min + HashPipe
+	// maps instead of exact per-PID state.
+	Attribution bool
+	// AttributionOracle additionally maintains the exact per-tgid
+	// counter map inside the attribution probe, for accuracy audits.
+	// Implies nothing unless Attribution is set.
+	AttributionOracle bool
 
 	// SeparateClient puts the load generator on its own machine instead
 	// of co-locating it with the server (the paper co-locates both
@@ -93,6 +104,10 @@ type Node struct {
 	// pipeline. Nil when RigOptions.Stream is false.
 	Stream *core.StreamObserver
 
+	// Attr is the attached sketch-based attribution pipeline. Nil when
+	// RigOptions.Attribution is false.
+	Attr *core.Attribution
+
 	// Faults is the armed fault controller. Nil until Arm is called.
 	Faults *faults.Controller
 
@@ -141,6 +156,12 @@ func NewNode(env *sim.Env, spec workloads.Spec, opt RigOptions) *Node {
 	if opt.Stream {
 		n.Stream = core.MustAttachStream(n.ServerK, cfg, opt.StreamBytes)
 	}
+	if opt.Attribution {
+		n.Attr = core.MustAttachAttribution(n.ServerK, probes.AttributionConfig{
+			SendSyscalls: []int{spec.SendNR},
+			Oracle:       opt.AttributionOracle,
+		})
+	}
 	if opt.Telemetry != nil {
 		// The server kernel carries the signals under study; a separate
 		// client kernel stays uninstrumented so its ideal-machine
@@ -152,6 +173,9 @@ func NewNode(env *sim.Env, spec workloads.Spec, opt RigOptions) *Node {
 		}
 		if n.Stream != nil {
 			n.Stream.Instrument(opt.Telemetry)
+		}
+		if n.Attr != nil {
+			n.Attr.Instrument(opt.Telemetry)
 		}
 	}
 	return n

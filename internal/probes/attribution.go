@@ -1,0 +1,384 @@
+package probes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"reqlens/internal/ebpf"
+	"reqlens/internal/kernel"
+)
+
+// Map fds used inside the attribution program.
+const (
+	fdAttrSyscalls = 1 // CMS: syscall count per tgid
+	fdAttrSends    = 2 // CMS: send-family syscall count per tgid
+	fdAttrTime     = 3 // CMS: summed inter-syscall gap (ns) per tgid
+	fdAttrTop      = 4 // HashPipe: top-K candidate tgids
+	fdAttrLast     = 5 // LRU: last syscall timestamp per thread
+	fdAttrExact    = 6 // optional oracle: exact syscall count per tgid
+)
+
+// AttributionConfig sizes the sketch maps of an AttributionProbe. The
+// zero value takes the defaults below, chosen so the whole per-node
+// state (three CMS rows of 2048x4 u64 plus a 4x64 pipe) is ~100 KiB —
+// small enough to pin per node, accurate to εN = N·e/2048 per query.
+type AttributionConfig struct {
+	// SendSyscalls is the send family counted into the Sends sketch
+	// (default: sendto, sendmsg, write — the paper's response markers).
+	SendSyscalls []int
+	// CMSWidth and CMSDepth size all three count-min sketches
+	// (default 2048x4: ε ≈ 0.13%, δ ≈ 1.8%).
+	CMSWidth, CMSDepth int
+	// TopStages and TopSlots size the HashPipe candidate table
+	// (default 4 stages x 64 slots).
+	TopStages, TopSlots int
+	// LastEntries bounds the per-thread last-timestamp LRU map
+	// (default 512 threads before eviction).
+	LastEntries int
+	// Oracle additionally maintains an exact per-tgid syscall counter
+	// in a plain hash map — the ground truth the sketch read-out is
+	// validated against. Costs exact-map memory; off in production.
+	Oracle bool
+	// OracleEntries bounds the oracle map (default 4096 tgids).
+	OracleEntries int
+}
+
+func (c AttributionConfig) withDefaults() AttributionConfig {
+	if len(c.SendSyscalls) == 0 {
+		c.SendSyscalls = []int{kernel.SysSendto, kernel.SysSendmsg, kernel.SysWrite}
+	}
+	if c.CMSWidth == 0 {
+		c.CMSWidth = 2048
+	}
+	if c.CMSDepth == 0 {
+		c.CMSDepth = 4
+	}
+	if c.TopStages == 0 {
+		c.TopStages = 4
+	}
+	if c.TopSlots == 0 {
+		c.TopSlots = 64
+	}
+	if c.LastEntries == 0 {
+		c.LastEntries = 512
+	}
+	if c.OracleEntries == 0 {
+		c.OracleEntries = 4096
+	}
+	return c
+}
+
+// AttributionProbe attributes syscall activity to processes wholly in
+// map space: one raw_syscalls:sys_enter program, unfiltered by tgid,
+// feeding three count-min sketches (total syscalls, send-family
+// syscalls, summed inter-syscall gap per tgid) and a HashPipe that
+// tracks the top-K candidate tgids. Userspace never walks a per-PID
+// hash map; it clones the sketches and asks them.
+type AttributionProbe struct {
+	// Syscalls counts every syscall per tgid.
+	Syscalls *ebpf.CMS
+	// Sends counts send-family syscalls per tgid (RPS attribution).
+	Sends *ebpf.CMS
+	// TimeNS sums the inter-syscall gap per tgid (time attribution).
+	TimeNS *ebpf.CMS
+	// Top is the candidate table read for top-K offenders.
+	Top *ebpf.HashPipe
+	// Last holds the per-thread last-syscall timestamp the gap is
+	// computed against (LRU, so thread churn evicts instead of erroring).
+	Last *ebpf.LRUHashMap
+	// Exact is the ground-truth per-tgid counter, nil unless
+	// AttributionConfig.Oracle was set.
+	Exact *ebpf.HashMap
+
+	prog *ebpf.Program
+	link *kernel.Link
+	cfg  AttributionConfig
+}
+
+// NewAttributionProbe builds and verifies the attribution program.
+func NewAttributionProbe(name string, cfg AttributionConfig) (*AttributionProbe, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.SendSyscalls) > 4 {
+		return nil, fmt.Errorf("probes: need 1..4 send syscall numbers, got %d", len(cfg.SendSyscalls))
+	}
+	p := &AttributionProbe{
+		Syscalls: ebpf.NewCMS(name+"_syscalls", 8, cfg.CMSWidth, cfg.CMSDepth),
+		Sends:    ebpf.NewCMS(name+"_sends", 8, cfg.CMSWidth, cfg.CMSDepth),
+		TimeNS:   ebpf.NewCMS(name+"_time", 8, cfg.CMSWidth, cfg.CMSDepth),
+		Top:      ebpf.NewHashPipe(name+"_top", 8, cfg.TopStages, cfg.TopSlots),
+		Last:     ebpf.NewLRUHashMap(name+"_last", 8, 8, cfg.LastEntries),
+		cfg:      cfg,
+	}
+	maps := map[int32]ebpf.Map{
+		fdAttrSyscalls: p.Syscalls,
+		fdAttrSends:    p.Sends,
+		fdAttrTime:     p.TimeNS,
+		fdAttrTop:      p.Top,
+		fdAttrLast:     p.Last,
+	}
+	if cfg.Oracle {
+		p.Exact = ebpf.NewHashMap(name+"_exact", 8, 8, cfg.OracleEntries)
+		maps[fdAttrExact] = p.Exact
+	}
+
+	// Frame layout: tgid key at -8, pid_tgid (thread) key at -16, the
+	// clock reading at -24 (value for the last-ts update), and the
+	// oracle's initial count at -32.
+	a := ebpf.NewAssembler()
+	emitTgidFilter(a, 0) // R6 = ctx, R9 = pid_tgid; no tgid filter
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R7, ebpf.R9),
+		ebpf.Rsh64Imm(ebpf.R7, 32),
+		ebpf.StoreMem(ebpf.R10, -8, ebpf.R7, ebpf.SizeDW),
+		ebpf.StoreMem(ebpf.R10, -16, ebpf.R9, ebpf.SizeDW),
+	)
+	// syscalls[tgid] += 1; top-K candidates[tgid] += 1
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrSyscalls))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Mov64Imm(ebpf.R3, 1),
+		ebpf.Call(ebpf.HelperCMSUpdate),
+	)
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrTop))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Mov64Imm(ebpf.R3, 1),
+		ebpf.Call(ebpf.HelperHashPipeInsert),
+	)
+	// time[tgid] += now - last[thread], when a previous call was seen
+	a.Emit(
+		ebpf.Call(ebpf.HelperKtimeGetNS),
+		ebpf.Mov64Reg(ebpf.R8, ebpf.R0),
+		ebpf.StoreMem(ebpf.R10, -24, ebpf.R8, ebpf.SizeDW),
+	)
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrLast))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -16),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+	)
+	a.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "nolast")
+	a.Emit(
+		ebpf.LoadMem(ebpf.R7, ebpf.R0, 0, ebpf.SizeDW),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R8),
+		ebpf.Sub64Reg(ebpf.R3, ebpf.R7),
+	)
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrTime))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Call(ebpf.HelperCMSUpdate),
+	)
+	a.Label("nolast")
+	// last[thread] = now
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrLast))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -16),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R3, -24),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(ebpf.HelperMapUpdateElem),
+	)
+	if cfg.Oracle {
+		// exact[tgid]++ (insert 1 on first sight)
+		a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrExact))
+		a.Emit(
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.Add64Imm(ebpf.R2, -8),
+			ebpf.Call(ebpf.HelperMapLookupElem),
+		)
+		a.JumpImm(ebpf.JmpJEQ, ebpf.R0, 0, "exinit")
+		a.Emit(
+			ebpf.LoadMem(ebpf.R1, ebpf.R0, 0, ebpf.SizeDW),
+			ebpf.Add64Imm(ebpf.R1, 1),
+			ebpf.StoreMem(ebpf.R0, 0, ebpf.R1, ebpf.SizeDW),
+		)
+		a.Jump("exdone")
+		a.Label("exinit")
+		a.Emit(ebpf.StoreImm(ebpf.R10, -32, 1, ebpf.SizeDW))
+		a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrExact))
+		a.Emit(
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.Add64Imm(ebpf.R2, -8),
+			ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+			ebpf.Add64Imm(ebpf.R3, -32),
+			ebpf.Mov64Imm(ebpf.R4, 0),
+			ebpf.Call(ebpf.HelperMapUpdateElem),
+		)
+		a.Label("exdone")
+	}
+	// sends[tgid] += 1, only for the send family
+	emitSyscallFilter(a, cfg.SendSyscalls)
+	a.EmitWide(ebpf.LoadMapFD(ebpf.R1, fdAttrSends))
+	a.Emit(
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.Add64Imm(ebpf.R2, -8),
+		ebpf.Mov64Imm(ebpf.R3, 1),
+		ebpf.Call(ebpf.HelperCMSUpdate),
+	)
+	a.Label("out")
+	a.Emit(ebpf.Mov64Imm(ebpf.R0, 0), ebpf.Exit())
+
+	prog, err := ebpf.Load(ebpf.ProgramSpec{
+		Name:    name,
+		Insns:   a.MustAssemble(),
+		Maps:    maps,
+		CtxSize: kernel.SysEnterCtxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.prog = prog
+	return p, nil
+}
+
+// MustNewAttributionProbe panics on build failure.
+func MustNewAttributionProbe(name string, cfg AttributionConfig) *AttributionProbe {
+	p, err := NewAttributionProbe(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Program returns the verified program (for disassembly/inspection).
+func (p *AttributionProbe) Program() *ebpf.Program { return p.prog }
+
+// Attach hooks the probe to raw_syscalls:sys_enter.
+func (p *AttributionProbe) Attach(tr *kernel.Tracer) error {
+	l, err := tr.Attach(kernel.RawSysEnter, p.prog)
+	if err != nil {
+		return err
+	}
+	p.link = l
+	return nil
+}
+
+// Detach removes the probe.
+func (p *AttributionProbe) Detach() {
+	if p.link != nil {
+		p.link.Detach()
+		p.link = nil
+	}
+}
+
+// Bytes returns the sketch-side map footprint (excludes the thread LRU
+// and any oracle map).
+func (p *AttributionProbe) Bytes() int {
+	return p.Syscalls.Bytes() + p.Sends.Bytes() + p.TimeNS.Bytes() + p.Top.Bytes()
+}
+
+// Sketches clones the probe's sketch state — a consistent scrape the
+// caller owns, safe to merge with other nodes' scrapes while the probe
+// keeps counting.
+func (p *AttributionProbe) Sketches() AttrSketches {
+	return AttrSketches{
+		Syscalls: p.Syscalls.Clone(),
+		Sends:    p.Sends.Clone(),
+		TimeNS:   p.TimeNS.Clone(),
+		Top:      p.Top.Clone(),
+	}
+}
+
+// ExactCounts reads the oracle map into a per-tgid count table.
+// Returns nil when the probe was built without Oracle.
+func (p *AttributionProbe) ExactCounts() map[uint64]uint64 {
+	if p.Exact == nil {
+		return nil
+	}
+	out := make(map[uint64]uint64, p.Exact.Len())
+	for _, k := range p.Exact.Keys() {
+		v, _ := p.Exact.Lookup(k)
+		out[binary.LittleEndian.Uint64(k)] = binary.LittleEndian.Uint64(v)
+	}
+	return out
+}
+
+// TGIDKey encodes a tgid as the 8-byte little-endian sketch key used
+// by the attribution program.
+func TGIDKey(tgid uint64) []byte {
+	k := make([]byte, 8)
+	binary.LittleEndian.PutUint64(k, tgid)
+	return k
+}
+
+// AttrSketches is one scrape of attribution state — per node, or the
+// fleet-level merge of many nodes. Because count-min merge is
+// element-wise addition and HashPipe merge is a deterministic
+// union-reinsert, merging per-node scrapes in node-ID order yields the
+// same bytes on every aggregator.
+type AttrSketches struct {
+	// Syscalls estimates total syscalls per tgid.
+	Syscalls *ebpf.CMS
+	// Sends estimates send-family syscalls per tgid.
+	Sends *ebpf.CMS
+	// TimeNS estimates the summed inter-syscall gap per tgid.
+	TimeNS *ebpf.CMS
+	// Top ranks candidate tgids by syscall count.
+	Top *ebpf.HashPipe
+}
+
+// Merge folds another scrape into s. Geometries must match.
+func (s AttrSketches) Merge(o AttrSketches) error {
+	if err := s.Syscalls.Merge(o.Syscalls); err != nil {
+		return err
+	}
+	if err := s.Sends.Merge(o.Sends); err != nil {
+		return err
+	}
+	if err := s.TimeNS.Merge(o.TimeNS); err != nil {
+		return err
+	}
+	return s.Top.Merge(o.Top)
+}
+
+// Clone deep-copies the scrape — the accumulator a rollup fold starts
+// from, so merging never mutates the per-node scrapes it reads.
+func (s AttrSketches) Clone() AttrSketches {
+	return AttrSketches{
+		Syscalls: s.Syscalls.Clone(),
+		Sends:    s.Sends.Clone(),
+		TimeNS:   s.TimeNS.Clone(),
+		Top:      s.Top.Clone(),
+	}
+}
+
+// Offender is one top-K attribution row: a process and its estimated
+// activity, all read from sketches.
+type Offender struct {
+	// TGID identifies the process.
+	TGID uint64
+	// Syscalls is the count-min estimate of its total syscalls.
+	Syscalls uint64
+	// Sends is the count-min estimate of its send-family syscalls.
+	Sends uint64
+	// Busy is the count-min estimate of its summed inter-syscall gap.
+	Busy time.Duration
+}
+
+// TopOffenders returns the K busiest tgids by syscall count: HashPipe
+// supplies the candidates, the count-min sketches supply the per-tgid
+// estimates. Deterministic (the pipe's ranking is count-desc with a
+// key-bytes tie-break).
+func (s AttrSketches) TopOffenders(k int) []Offender {
+	top := s.Top.TopK(k)
+	out := make([]Offender, len(top))
+	for i, e := range top {
+		out[i] = Offender{
+			TGID:     binary.LittleEndian.Uint64(e.Key),
+			Syscalls: s.Syscalls.Estimate(e.Key),
+			Sends:    s.Sends.Estimate(e.Key),
+			Busy:     time.Duration(s.TimeNS.Estimate(e.Key)),
+		}
+	}
+	return out
+}
+
+// Bytes returns the scrape's total sketch footprint.
+func (s AttrSketches) Bytes() int {
+	return s.Syscalls.Bytes() + s.Sends.Bytes() + s.TimeNS.Bytes() + s.Top.Bytes()
+}

@@ -15,6 +15,7 @@ cd "$(dirname "$0")/.."
 # registry: name|benchmark function|package
 BENCHES="
 ringbuf|BenchmarkRingbufThroughput|./internal/ebpf/
+sketch|BenchmarkSketchHotPath|./internal/ebpf/
 interpreter|BenchmarkEBPFInterpreterListing1|.
 jit|BenchmarkEBPFCompiledListing1|.
 verifier|BenchmarkEBPFVerifier|.

@@ -22,6 +22,9 @@
 #   fleet smoke                           the same cluster sweep at
 #                                         -parallel 1 and 2 must print
 #                                         byte-identical output
+#   cardinality smoke                     the quick sketch sweep must
+#                                         match its checked-in golden
+#                                         rendering byte-for-byte
 #   examples smoke                        build and run every examples/*
 #                                         binary with tiny parameters so
 #                                         the documented entry points
@@ -93,7 +96,7 @@ echo "== bench smoke (substrate benches, 1 iteration)"
 go test -run '^$' -benchtime 1x \
     -bench '^(BenchmarkEBPFInterpreterListing1|BenchmarkEBPFCompiledListing1|BenchmarkEBPFVerifier|BenchmarkSimulatorEventThroughput|BenchmarkKernelSyscallPath)$' \
     . >/dev/null
-go test -run '^$' -benchtime 1x -bench '^BenchmarkRingbufThroughput$' \
+go test -run '^$' -benchtime 1x -bench '^(BenchmarkRingbufThroughput|BenchmarkSketchHotPath)$' \
     ./internal/ebpf/ >/dev/null
 go test -run '^$' -benchtime 1x -bench '^BenchmarkFleetEpochs$' \
     ./internal/fleet/ >/dev/null
@@ -113,6 +116,23 @@ if ! diff -u "$fldir/seq.out" "$fldir/par.out"; then
 fi
 echo "   parallel vs sequential fleet sweep: byte-identical"
 rm -rf "$fldir"
+
+echo "== cardinality smoke (sketch sweep vs golden)"
+# The sketch pipeline's end-to-end contract against the real binary:
+# the quick cardinality sweep (compiled sketch helpers, Zipf stream,
+# bound/recall columns) must match the checked-in rendering
+# byte-for-byte. `make golden` regenerates the fixture after an
+# intentional change.
+cddir=$(mktemp -d)
+go build -o "$cddir/reqlens" ./cmd/reqlens
+"$cddir/reqlens" cardinality -quick >"$cddir/card.out"
+if ! diff -u internal/harness/testdata/golden/cardinality.txt "$cddir/card.out"; then
+    echo "cardinality output diverged from golden (make golden if intentional)" >&2
+    rm -rf "$cddir"
+    exit 1
+fi
+echo "   cardinality sweep vs golden: byte-identical"
+rm -rf "$cddir"
 
 echo "== resilience smoke (kill -9 mid-sweep, resume, diff)"
 # The supervision stack's end-to-end contract, exercised against the

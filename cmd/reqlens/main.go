@@ -13,6 +13,7 @@
 //	reqlens iouring [flags]             # Section V-C blind spot
 //	reqlens stream [flags]              # batch vs streaming observer agreement
 //	reqlens robustness [flags]          # R^2 deltas under kernel fault plans
+//	reqlens waitstates [-workload W] [flags] # sched-probe wait-state decomposition + fault diagnosis
 //	reqlens fleet [-nodes N] [flags]    # multi-node cluster sweep with scrape/merge rollups
 //	reqlens cardinality [flags]         # sketch error/memory vs key cardinality (1e2..1e6)
 //	reqlens telemetry -journal F [-top N] # render a recorded run journal
@@ -91,7 +92,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|fleet|cardinality|telemetry|resume|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|waitstates|fleet|cardinality|telemetry|resume|all> [flags]")
 	os.Exit(2)
 }
 
@@ -295,6 +296,11 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 		}
 	case "robustness":
 		runRobustness(specs, opt)
+	case "waitstates":
+		res := harness.WaitStateSweep(specs, opt)
+		fmt.Print(harness.RenderWaitStates(res))
+		fmt.Println()
+		fmt.Print(harness.RenderWaitFolded(res))
 	case "cardinality":
 		cards := harness.DefaultCardinalities()
 		if *quick {

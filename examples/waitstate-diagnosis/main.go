@@ -1,0 +1,90 @@
+// Wait-state diagnosis: telling two slow servers apart from shares alone.
+//
+// Two nodes can miss the same QoS target for opposite reasons: one is
+// CPU-starved (requests queue on the runqueue behind other work), the
+// other sits behind a delayed link. Tail latency alone cannot tell
+// them apart — both p99s blow up — but the sched_switch/sched_wakeup
+// wait-state decomposition can. CPU queueing shows up as runnable
+// share on the server; a netem delay does not show up at all: the
+// extra milliseconds live on the wire, so the server's scheduler
+// profile stays indistinguishable from the healthy baseline. A slow
+// node that is NOT losing time locally is the off-box fingerprint.
+//
+// This example runs three rigs — a healthy baseline, one driven past
+// its failure RPS, and one behind a 10 ms netem delay — samples each
+// server's wait-state profile, and classifies the two sick nodes from
+// their shares only. The client-side p99 is printed as corroborating
+// ground truth the in-kernel plane never saw.
+//
+//	go run ./examples/waitstate-diagnosis
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"reqlens/internal/harness"
+	"reqlens/internal/netsim"
+	"reqlens/internal/workloads"
+)
+
+// runqJump is the runnable-share increase over baseline that reads as
+// CPU queueing — far above this simulation's run-to-run noise.
+const runqJump = 0.05
+
+// node is one diagnosed server: its wait-state shares and the ground
+// truth the classifier does not get to see.
+type node struct {
+	name            string
+	oncpu, run, blk float64
+	p99             time.Duration
+}
+
+func measure(name string, level float64, netem netsim.Config) node {
+	spec := workloads.Silo()
+	rig := harness.NewRig(spec, harness.RigOptions{
+		Seed:       42,
+		Rate:       level * spec.FailureRPS,
+		Netem:      netem,
+		Probes:     true,
+		WaitStates: true,
+	})
+	defer rig.Close()
+	rig.Warmup(200 * time.Millisecond)
+	m := rig.Measure(400 * time.Millisecond)
+	on, run, blk := m.Wait.Shares()
+	return node{name: name, oncpu: on, run: run, blk: blk, p99: m.Load.P99}
+}
+
+// diagnose answers "why is this node slow?" from shares alone: an
+// elevated runnable share means requests are queueing for this host's
+// CPUs; a scheduler profile matching the healthy baseline means the
+// latency is not accumulating on this host at all — it is on the wire.
+func diagnose(n, base node) string {
+	if n.run >= base.run+runqJump {
+		return "overloaded: CPU queueing (runnable share up)"
+	}
+	return "off-box: scheduler profile nominal, delay is on the link"
+}
+
+func main() {
+	base := measure("baseline 0.6", 0.6, netsim.Config{})
+	sick := []node{
+		measure("overload 1.0", 1.0, netsim.Config{}),
+		measure("netem +10ms", 0.6, netsim.Config{Delay: 10 * time.Millisecond}),
+	}
+	fmt.Println("Wait-state diagnosis (silo): same symptom, different cause")
+	fmt.Printf("%-14s | %7s | %8s | %7s | %9s | %s\n",
+		"node", "oncpu", "runnable", "blocked", "p99", "verdict")
+	row := func(n node, verdict string) {
+		fmt.Printf("%-14s | %6.2f%% | %7.2f%% | %6.2f%% | %7.2fms | %s\n",
+			n.name, 100*n.oncpu, 100*n.run, 100*n.blk,
+			float64(n.p99)/float64(time.Millisecond), verdict)
+	}
+	row(base, "(reference)")
+	for _, n := range sick {
+		row(n, diagnose(n, base))
+	}
+	fmt.Println("\nBoth sick nodes miss QoS; only the shares say which fix applies:")
+	fmt.Println("add cores to the queued node, fix the link on the other one.")
+}

@@ -79,6 +79,15 @@ type Options struct {
 	// the other metrics.
 	Attribution bool
 
+	// WaitStates attaches the scheduler-state observer on every node
+	// (RigOptions.WaitStates) and exports each server's on-CPU /
+	// runnable / blocked shares per scrape, giving rollups a
+	// queued-for-CPU ranking that separates saturated nodes from
+	// delayed ones. Off by default for the same reason as Attribution:
+	// the sched-hook probes charge (deterministic) cost to the observed
+	// kernels.
+	WaitStates bool
+
 	// Warmup is simulated time driven before measurement and scraping
 	// begin (0 defaults to 1s).
 	Warmup time.Duration
@@ -145,7 +154,7 @@ func NewCluster(opt Options) *Cluster {
 	}
 	c := &Cluster{opt: opt, step: sim.NewLockstep(opt.Parallelism)}
 	for i, spec := range opt.Nodes {
-		n := newNode(i, spec, opt.Seed+int64(i)*nodeSeedStride, opt.Level, opt.Clock, opt.Attribution)
+		n := newNode(i, spec, opt.Seed+int64(i)*nodeSeedStride, opt.Level, opt.Clock, opt.Attribution, opt.WaitStates)
 		c.Nodes = append(c.Nodes, n)
 		c.step.Add(n.Rig.Env)
 	}
@@ -160,6 +169,9 @@ func (c *Cluster) Warmup() {
 	c.step.AdvanceAll(sim.Time(0).Add(c.opt.Warmup))
 	for _, n := range c.Nodes {
 		n.Rig.Obs.Sample() // discard: rebase the observation window
+		if n.Rig.Wait != nil {
+			n.Rig.Wait.Sample() // likewise for the wait-state window
+		}
 		n.Rig.Client.StartMeasurement()
 		if !n.Spec.Plan.Empty() {
 			n.Rig.Arm(n.Spec.Plan)

@@ -72,6 +72,14 @@ const (
 	metricSaturation = "node_saturation"
 	metricScrapes    = "node_scrapes_total"
 	metricSends      = "node_sends_total"
+
+	// Wait-state shares of the server's scheduler-accounted time in the
+	// scrape window. Exported only when the cluster runs with
+	// Options.WaitStates; rollups treat their absence as "signal not
+	// deployed", not as zeros.
+	metricWaitOnCPU    = "node_wait_oncpu_share"
+	metricWaitRunnable = "node_wait_runnable_share"
+	metricWaitBlocked  = "node_wait_blocked_share"
 )
 
 // Node is one cluster member: a harness.Rig (server node + co-located
@@ -111,7 +119,7 @@ type Node struct {
 // newNode builds one member: its environment, rig and per-node
 // registry. level is the cluster load level; the node's offered rate is
 // level * FailureRPS * weight.
-func newNode(id int, spec NodeSpec, seed int64, level float64, clock *sim.Clock, attribution bool) *Node {
+func newNode(id int, spec NodeSpec, seed int64, level float64, clock *sim.Clock, attribution, waitStates bool) *Node {
 	reg := telemetry.New()
 	rate := level * spec.Workload.FailureRPS * spec.weight()
 	netem := spec.Plan.Netem // link shaping is a whole-run property
@@ -122,6 +130,7 @@ func newNode(id int, spec NodeSpec, seed int64, level float64, clock *sim.Clock,
 		Rate:        rate,
 		Probes:      true,
 		Attribution: attribution,
+		WaitStates:  waitStates,
 		Telemetry:   reg,
 		Clock:       clock,
 	})
@@ -147,6 +156,12 @@ func (n *Node) Export() []byte {
 	reg.FloatGauge(metricRecvVarUS2).Set(w.Recv.VarianceUS2)
 	reg.FloatGauge(metricPollMeanNS).Set(float64(w.Poll.MeanDuration))
 	reg.FloatGauge(metricSaturation).Set(w.Send.RatePerSec / n.Spec.Workload.FailureRPS)
+	if n.Rig.Wait != nil {
+		on, run, blk := n.Rig.Wait.Sample().Shares()
+		reg.FloatGauge(metricWaitOnCPU).Set(on)
+		reg.FloatGauge(metricWaitRunnable).Set(run)
+		reg.FloatGauge(metricWaitBlocked).Set(blk)
+	}
 	reg.Counter(metricScrapes).Inc()
 	reg.Counter(metricSends).Add(w.Send.Calls)
 	var buf bytes.Buffer

@@ -32,6 +32,13 @@ type NodeStat struct {
 	Saturation float64 // observed RPS / the node's nominal failure RPS
 	SendVarUS2 float64
 	PollMeanNS float64
+
+	// Wait-state shares of the server's scheduler-accounted time in the
+	// scrape window (sum to 1). Zero-valued when the cluster runs
+	// without Options.WaitStates.
+	OnCPUShare    float64 `json:",omitempty"`
+	RunnableShare float64 `json:",omitempty"`
+	BlockedShare  float64 `json:",omitempty"`
 }
 
 // Rollup is the cluster-level view of one scrape epoch, computed purely
@@ -70,6 +77,14 @@ type Rollup struct {
 	TopSaturated []NodeStat `json:",omitempty"`
 	TopNoisy     []NodeStat `json:",omitempty"`
 
+	// TopQueued ranks the fresh nodes by runnable (runqueue-wait) share
+	// — the wait-state fingerprint of a server losing its p99 to CPU
+	// queueing rather than to I/O or the network. Nil unless the
+	// cluster runs with Options.WaitStates: a fleet without the sched
+	// probes has no queueing signal, which is different from measuring
+	// zero queueing.
+	TopQueued []NodeStat `json:",omitempty"`
+
 	// TopOffenders ranks processes cluster-wide by sketch-estimated
 	// syscall activity: the fresh nodes' attribution scrapes merged in
 	// node-ID order (count-min merge is element-wise addition and
@@ -95,7 +110,7 @@ const saturationThreshold = 0.9
 // are bit-stable at any worker count.
 func computeRollup(epoch int, at sim.Time, nodes []*Node, topK int, missed int, staleness time.Duration) Rollup {
 	r := Rollup{Epoch: epoch, At: at, Missed: missed}
-	var stats []NodeStat
+	var stats, waitStats []NodeStat
 	for _, n := range nodes {
 		if !n.lastOK || at.Sub(n.last.At) > staleness {
 			r.Stale = append(r.Stale, n.ID)
@@ -108,6 +123,12 @@ func computeRollup(epoch int, at sim.Time, nodes []*Node, topK int, missed int, 
 			Saturation: m[metricSaturation],
 			SendVarUS2: m[metricSendVarUS2],
 			PollMeanNS: m[metricPollMeanNS],
+		}
+		if _, ok := m[metricWaitRunnable]; ok {
+			st.OnCPUShare = m[metricWaitOnCPU]
+			st.RunnableShare = m[metricWaitRunnable]
+			st.BlockedShare = m[metricWaitBlocked]
+			waitStats = append(waitStats, st)
 		}
 		stats = append(stats, st)
 		r.GlobalObsvRPS += st.ObsvRPS
@@ -122,6 +143,7 @@ func computeRollup(epoch int, at sim.Time, nodes []*Node, topK int, missed int, 
 	}
 	r.TopSaturated = topBy(stats, topK, func(a, b NodeStat) bool { return a.Saturation > b.Saturation })
 	r.TopNoisy = topBy(stats, topK, func(a, b NodeStat) bool { return a.SendVarUS2 > b.SendVarUS2 })
+	r.TopQueued = topBy(waitStats, topK, func(a, b NodeStat) bool { return a.RunnableShare > b.RunnableShare })
 	r.TopOffenders = mergeOffenders(nodes, at, staleness, topK)
 	return r
 }

@@ -38,6 +38,12 @@ type RigOptions struct {
 	// syscall activity to every process through count-min + HashPipe
 	// maps instead of exact per-PID state.
 	Attribution bool
+
+	// WaitStates attaches the scheduler-state observer
+	// (core.WaitProfile): sched_switch/sched_wakeup programs decomposing
+	// the server process's time into on-CPU / runnable / blocked — the
+	// explanatory counterpart to the poll slack signal.
+	WaitStates bool
 	// AttributionOracle additionally maintains the exact per-tgid
 	// counter map inside the attribution probe, for accuracy audits.
 	// Implies nothing unless Attribution is set.
@@ -108,6 +114,10 @@ type Node struct {
 	// RigOptions.Attribution is false.
 	Attr *core.Attribution
 
+	// Wait is the attached scheduler-state observer. Nil when
+	// RigOptions.WaitStates is false.
+	Wait *core.WaitProfile
+
 	// Faults is the armed fault controller. Nil until Arm is called.
 	Faults *faults.Controller
 
@@ -162,6 +172,9 @@ func NewNode(env *sim.Env, spec workloads.Spec, opt RigOptions) *Node {
 			Oracle:       opt.AttributionOracle,
 		})
 	}
+	if opt.WaitStates {
+		n.Wait = core.MustAttachWaitProfile(n.ServerK, cfg.TGID, probes.WaitStateConfig{TrackTGID: cfg.TGID})
+	}
 	if opt.Telemetry != nil {
 		// The server kernel carries the signals under study; a separate
 		// client kernel stays uninstrumented so its ideal-machine
@@ -176,6 +189,9 @@ func NewNode(env *sim.Env, spec workloads.Spec, opt RigOptions) *Node {
 		}
 		if n.Attr != nil {
 			n.Attr.Instrument(opt.Telemetry)
+		}
+		if n.Wait != nil {
+			n.Wait.Instrument(opt.Telemetry)
 		}
 	}
 	return n
@@ -281,6 +297,9 @@ func (r *Rig) Warmup(d time.Duration) {
 	if r.Stream != nil {
 		r.Stream.Sample()
 	}
+	if r.Wait != nil {
+		r.Wait.Sample()
+	}
 }
 
 // Measurement is one window's paired ground truth and eBPF observations.
@@ -292,6 +311,10 @@ type Measurement struct {
 	// when RigOptions.Stream is false). Its embedded Window equals Obs
 	// bit-for-bit whenever Stream.Dropped stayed zero.
 	Stream core.StreamWindow
+
+	// Wait is the scheduler-state decomposition of the same window (zero
+	// when RigOptions.WaitStates is false).
+	Wait core.WaitWindow
 
 	RPSObsv    float64 // Eq. 1 estimate from the send probe
 	SendVarUS2 float64 // Eq. 2 variance of send deltas
@@ -309,6 +332,9 @@ func (r *Rig) Measure(d time.Duration) Measurement {
 	if r.Stream != nil {
 		r.Stream.Sample() // rebase
 	}
+	if r.Wait != nil {
+		r.Wait.Sample() // rebase
+	}
 	r.Advance(d)
 	m := Measurement{Load: r.Client.Snapshot()}
 	if r.Obs != nil {
@@ -321,6 +347,9 @@ func (r *Rig) Measure(d time.Duration) Measurement {
 	}
 	if r.Stream != nil {
 		m.Stream = r.Stream.Sample()
+	}
+	if r.Wait != nil {
+		m.Wait = r.Wait.Sample()
 	}
 	return m
 }

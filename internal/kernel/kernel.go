@@ -36,7 +36,9 @@ func (k *Kernel) Env() *sim.Env { return k.env }
 // Instrument wires the kernel's hot-path telemetry into r: scheduler
 // activity (sched_dispatches_total, sched_preemptions_total,
 // sched_ctx_switches_total), tracepoint dispatch
-// (trace_tracepoint_fires_total), and per-run eBPF execution totals
+// (trace_tracepoint_fires_total, plus trace_sched_switch_fires_total /
+// trace_sched_wakeup_fires_total for the scheduler pair), and per-run
+// eBPF execution totals
 // (vm_runs_total, vm_run_errors_total, vm_instructions_total,
 // vm_helper_calls_total, vm_map_ops_total). A nil registry leaves the
 // kernel uninstrumented; the disabled path costs one nil check per
@@ -47,6 +49,8 @@ func (k *Kernel) Instrument(r *telemetry.Registry) {
 	k.sched.telPreemptions = r.Counter("sched_preemptions_total")
 	k.sched.telCtxSwitches = r.Counter("sched_ctx_switches_total")
 	k.tracer.telFires = r.Counter("trace_tracepoint_fires_total")
+	k.tracer.telSwitchFires = r.Counter("trace_sched_switch_fires_total")
+	k.tracer.telWakeupFires = r.Counter("trace_sched_wakeup_fires_total")
 	k.tracer.telRuns = r.Counter("vm_runs_total")
 	k.tracer.telRunErrs = r.Counter("vm_run_errors_total")
 	k.tracer.telInsns = r.Counter("vm_instructions_total")
@@ -160,6 +164,12 @@ type Thread struct {
 	probeCost time.Duration
 	inSyscall int32 // current syscall nr, -1 when in userspace
 	runqWaits uint64
+
+	// pendingProbe is sched-tracepoint program cost accrued inside the
+	// scheduler, where it cannot be charged through Compute without
+	// re-entering dispatch. The scheduler folds it into the thread's
+	// next timeslice.
+	pendingProbe time.Duration
 }
 
 // TID returns the thread id.
@@ -198,13 +208,14 @@ func (t *Thread) RunQueueWaits() uint64 { return t.runqWaits }
 
 // Compute consumes d of CPU time under the scheduler: the thread takes a
 // CPU when one is free, otherwise queues; long computations are
-// timesliced and preempted when others wait.
+// timesliced and preempted when others wait. The time charged can
+// exceed d when sched-tracepoint programs ran on the thread's
+// transitions (their cost extends the timeslice).
 func (t *Thread) Compute(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	t.proc.k.sched.compute(t, d)
-	t.cpuTime += d
+	t.cpuTime += t.proc.k.sched.compute(t, d)
 }
 
 // Sleep suspends the thread for d without consuming CPU.

@@ -82,11 +82,13 @@ func (s *scheduler) acquire(t *Thread) {
 }
 
 // assign puts t on c, charging the switch cost when the CPU last ran a
-// different thread.
+// different thread. The CPU was idle, so the switch event's outgoing
+// task is the idle task.
 func (s *scheduler) assign(t *Thread, c *cpu) {
 	t.cpu = c
 	s.dispatches++
 	s.telDispatches.Inc()
+	s.k.tracer.schedSwitch(nil, TaskRunning, t)
 	if c.last != t {
 		s.chargeSwitch(t)
 	}
@@ -101,8 +103,11 @@ func (s *scheduler) chargeSwitch(t *Thread) {
 }
 
 // release frees t's CPU, handing it directly to the next queued thread
-// if any.
-func (s *scheduler) release(t *Thread) {
+// if any. prevState records why t left the CPU in the sched_switch
+// event: TaskRunning for a preemption (t stays runnable and requeues),
+// TaskBlocked for a voluntary yield (t parks, sleeps, or returns to
+// userspace until its next compute).
+func (s *scheduler) release(t *Thread, prevState uint64) {
 	c := t.cpu
 	if c == nil {
 		return
@@ -117,10 +122,12 @@ func (s *scheduler) release(t *Thread) {
 		next.cpu = c
 		s.dispatches++
 		s.telDispatches.Inc()
+		s.k.tracer.schedSwitch(t, prevState, next)
 		next.waker.Wake()
 		return
 	}
 	c.busy = false
+	s.k.tracer.schedSwitch(t, prevState, nil)
 }
 
 // offlineCPUs removes up to n CPUs from dispatch (highest ids first),
@@ -159,6 +166,7 @@ func (s *scheduler) onlineAllCPUs() {
 			c.busy = true
 			s.dispatches++
 			s.telDispatches.Inc()
+			s.k.tracer.schedSwitch(nil, TaskRunning, next)
 			next.waker.Wake()
 		}
 	}
@@ -183,17 +191,31 @@ func (s *scheduler) flushAffinity() {
 	}
 }
 
-// compute runs t for total CPU time d. The thread's quantum carries
-// across Compute calls (as a real scheduler's timeslice spans syscalls),
-// so a thread that has been running for a while can be preempted at the
-// quantum boundary even inside a short critical-section compute — the
-// lock-holder-preemption behaviour that drives contention convoys at
-// saturation.
-func (s *scheduler) compute(t *Thread, d time.Duration) {
+// compute runs t for total CPU time d and returns the CPU time actually
+// consumed: d plus any pending sched-probe cost folded into the run.
+// The thread's quantum carries across Compute calls (as a real
+// scheduler's timeslice spans syscalls), so a thread that has been
+// running for a while can be preempted at the quantum boundary even
+// inside a short critical-section compute — the lock-holder-preemption
+// behaviour that drives contention convoys at saturation.
+//
+// Every compute starts off-CPU (the previous one released), so its
+// entry is the thread's blocked→runnable transition and fires
+// sched_wakeup. Pending probe cost accrued by scheduler hooks is folded
+// into the timeslice at each dispatch, extending the run the way a real
+// sched program extends the switch path it instruments.
+func (s *scheduler) compute(t *Thread, d time.Duration) time.Duration {
+	s.k.tracer.schedWakeup(t)
+	total := d
 	remaining := d
 	for {
 		if t.cpu == nil {
 			s.acquire(t)
+		}
+		if p := t.pendingProbe; p > 0 {
+			t.pendingProbe = 0
+			remaining += p
+			total += p
 		}
 		if t.quantum <= 0 {
 			t.quantum = s.timeslice
@@ -207,15 +229,15 @@ func (s *scheduler) compute(t *Thread, d time.Duration) {
 		t.quantum -= run
 		if remaining <= 0 {
 			// Voluntary yield: keep the leftover quantum.
-			s.release(t)
-			return
+			s.release(t, TaskBlocked)
+			return total
 		}
 		if t.quantum <= 0 {
 			if len(s.runq) > 0 {
 				// Quantum expired with waiters: yield the CPU and requeue.
 				s.preemptions++
 				s.telPreemptions.Inc()
-				s.release(t)
+				s.release(t, TaskRunning)
 			} else {
 				t.quantum = s.timeslice
 			}

@@ -13,39 +13,76 @@ import (
 // Tracepoint identifies an attachment point.
 type Tracepoint uint8
 
-// The two raw_syscalls tracepoints the paper's methodology uses.
+// The tracepoints the kernel exposes: the two raw_syscalls hooks the
+// paper's methodology uses, plus the scheduler pair behind wait-state
+// accounting (on-CPU / runnable / blocked decomposition).
 const (
 	RawSysEnter Tracepoint = iota
 	RawSysExit
+	SchedSwitch
+	SchedWakeup
 )
 
-func (tp Tracepoint) String() string {
-	if tp == RawSysEnter {
-		return "raw_syscalls:sys_enter"
-	}
-	return "raw_syscalls:sys_exit"
-}
-
 // Context struct sizes and field offsets, mirroring the Linux tracepoint
-// format: an 8-byte common header, the syscall id, then args or the
-// return value.
+// format: an 8-byte common header, then the event payload. raw_syscalls
+// carries the syscall id and args or return value; the sched pair
+// carries pid_tgid identities and, for sched_switch, the outgoing
+// task's state.
 const (
-	SysEnterCtxSize = 64 // header(8) + id(8) + args[6](48)
-	SysExitCtxSize  = 24 // header(8) + id(8) + ret(8)
+	SysEnterCtxSize    = 64 // header(8) + id(8) + args[6](48)
+	SysExitCtxSize     = 24 // header(8) + id(8) + ret(8)
+	SchedSwitchCtxSize = 32 // header(8) + prev_pid_tgid(8) + prev_state(8) + next_pid_tgid(8)
+	SchedWakeupCtxSize = 16 // header(8) + pid_tgid(8)
 
 	CtxOffID   = 8
 	CtxOffArgs = 16
 	CtxOffRet  = 16
+
+	CtxOffPrevPidTgid = 8  // sched_switch: task leaving the CPU (0 = idle)
+	CtxOffPrevState   = 16 // sched_switch: TaskRunning or TaskBlocked
+	CtxOffNextPidTgid = 24 // sched_switch: task taking the CPU (0 = idle)
+	CtxOffWakePidTgid = 8  // sched_wakeup: task made runnable
 )
 
-// CtxSizeOf returns the context size for a tracepoint, for building
-// ProgramSpecs.
-func CtxSizeOf(tp Tracepoint) int {
-	if tp == RawSysEnter {
-		return SysEnterCtxSize
-	}
-	return SysExitCtxSize
+// prev_state values in the sched_switch ctx, following the kernel's
+// convention: a task switched out in TASK_RUNNING was preempted and
+// goes straight back on the run queue; any non-running state means it
+// blocked (this kernel does not distinguish S from D).
+const (
+	TaskRunning uint64 = 0
+	TaskBlocked uint64 = 1
+)
+
+// tracepointInfo is one registry row: the stable event name and the ctx
+// struct size programs attaching there are verified against.
+type tracepointInfo struct {
+	name    string
+	ctxSize int
 }
+
+// tracepoints is the attachment-point registry. Every Tracepoint
+// constant must have a row; lookups panic on unknown values so a new
+// tracepoint can never silently inherit another's ctx layout.
+var tracepoints = map[Tracepoint]tracepointInfo{
+	RawSysEnter: {"raw_syscalls:sys_enter", SysEnterCtxSize},
+	RawSysExit:  {"raw_syscalls:sys_exit", SysExitCtxSize},
+	SchedSwitch: {"sched:sched_switch", SchedSwitchCtxSize},
+	SchedWakeup: {"sched:sched_wakeup", SchedWakeupCtxSize},
+}
+
+func (tp Tracepoint) info() tracepointInfo {
+	info, ok := tracepoints[tp]
+	if !ok {
+		panic(fmt.Sprintf("kernel: unknown tracepoint %d", uint8(tp)))
+	}
+	return info
+}
+
+func (tp Tracepoint) String() string { return tp.info().name }
+
+// CtxSizeOf returns the context size for a tracepoint, for building
+// ProgramSpecs. It panics on an unregistered tracepoint.
+func CtxSizeOf(tp Tracepoint) int { return tp.info().ctxSize }
 
 // Probe execution cost model: the price charged to the traced thread per
 // program run, calibrated to JITed eBPF on modern x86 (tracepoint
@@ -116,21 +153,25 @@ type Tracer struct {
 	// simulation itself keep the raw virtual clock.
 	warp func(uint64) uint64
 
-	runs     uint64
-	runErrs  uint64
-	lastErr  error
-	enterCtx [SysEnterCtxSize]byte
-	exitCtx  [SysExitCtxSize]byte
+	runs      uint64
+	runErrs   uint64
+	lastErr   error
+	enterCtx  [SysEnterCtxSize]byte
+	exitCtx   [SysExitCtxSize]byte
+	switchCtx [SchedSwitchCtxSize]byte
+	wakeupCtx [SchedWakeupCtxSize]byte
 
 	// Telemetry counters; nil (no-ops) until the owning kernel is
 	// instrumented. Write-only, so they cannot perturb dispatch or cost
 	// accounting.
-	telFires   *telemetry.Counter
-	telRuns    *telemetry.Counter
-	telRunErrs *telemetry.Counter
-	telInsns   *telemetry.Counter
-	telHelpers *telemetry.Counter
-	telMapOps  *telemetry.Counter
+	telFires       *telemetry.Counter
+	telSwitchFires *telemetry.Counter
+	telWakeupFires *telemetry.Counter
+	telRuns        *telemetry.Counter
+	telRunErrs     *telemetry.Counter
+	telInsns       *telemetry.Counter
+	telHelpers     *telemetry.Counter
+	telMapOps      *telemetry.Counter
 }
 
 func newTracer(k *Kernel) *Tracer {
@@ -245,10 +286,90 @@ func (tr *Tracer) sysExit(t *Thread, nr int, ret int64) {
 	tr.dispatch(t, links, ctx)
 }
 
+// schedSwitch fires sched:sched_switch: next is taking prev's CPU. A
+// nil prev or next encodes the idle task (pid_tgid 0), as on Linux,
+// where swapper occupies an idle CPU. prevState follows the kernel's
+// convention: TaskRunning means prev was preempted and stays runnable,
+// TaskBlocked means it parked or went to sleep.
+func (tr *Tracer) schedSwitch(prev *Thread, prevState uint64, next *Thread) {
+	links := tr.links[SchedSwitch]
+	if len(links) == 0 {
+		return
+	}
+	tr.telFires.Inc()
+	tr.telSwitchFires.Inc()
+	ctx := tr.switchCtx[:]
+	for i := range ctx {
+		ctx[i] = 0
+	}
+	if prev != nil {
+		binary.LittleEndian.PutUint64(ctx[CtxOffPrevPidTgid:], prev.PidTgid())
+	}
+	binary.LittleEndian.PutUint64(ctx[CtxOffPrevState:], prevState)
+	if next != nil {
+		binary.LittleEndian.PutUint64(ctx[CtxOffNextPidTgid:], next.PidTgid())
+	}
+	// The hook runs in the context of the outgoing task (or the incoming
+	// one when the CPU was idle), which is who the probe cost lands on.
+	cur := prev
+	if cur == nil {
+		cur = next
+	}
+	tr.dispatchSched(cur, links, ctx)
+}
+
+// schedWakeup fires sched:sched_wakeup: t has left a blocked state and
+// is about to compete for a CPU.
+func (tr *Tracer) schedWakeup(t *Thread) {
+	links := tr.links[SchedWakeup]
+	if len(links) == 0 {
+		return
+	}
+	tr.telFires.Inc()
+	tr.telWakeupFires.Inc()
+	ctx := tr.wakeupCtx[:]
+	for i := range ctx {
+		ctx[i] = 0
+	}
+	binary.LittleEndian.PutUint64(ctx[CtxOffWakePidTgid:], t.PidTgid())
+	tr.dispatchSched(t, links, ctx)
+}
+
 // dispatch runs every attached program and charges the aggregate
 // execution cost to the thread as CPU time.
 func (tr *Tracer) dispatch(t *Thread, links []*Link, ctx []byte) {
 	tr.cur = t
+	cost := tr.runLinks(links, ctx)
+	tr.cur = nil
+	if cost > 0 {
+		t.probeCost += cost
+		t.Compute(cost)
+	}
+}
+
+// dispatchSched runs the attached programs for a scheduler tracepoint.
+// Unlike dispatch it cannot charge the cost through Compute — these
+// hooks fire from inside the scheduler, where re-entering it would
+// corrupt dispatch state — so the cost is parked on the thread and
+// folded into its next timeslice, the way a real sched_switch program
+// extends the context switch it instruments. It saves and restores the
+// current-thread slot because scheduler hooks can fire nested inside a
+// syscall-probe dispatch (the cost charge of which runs the scheduler).
+func (tr *Tracer) dispatchSched(t *Thread, links []*Link, ctx []byte) {
+	saved := tr.cur
+	tr.cur = t
+	cost := tr.runLinks(links, ctx)
+	tr.cur = saved
+	if cost > 0 && t != nil {
+		t.probeCost += cost
+		t.pendingProbe += cost
+	}
+}
+
+// runLinks executes each attached program against ctx and returns the
+// modeled execution cost. tr.cur must already identify the context
+// thread.
+func (tr *Tracer) runLinks(links []*Link, ctx []byte) time.Duration {
 	var cost time.Duration
 	for _, l := range links {
 		tr.runs++
@@ -267,9 +388,5 @@ func (tr *Tracer) dispatch(t *Thread, links []*Link, ctx []byte) {
 			time.Duration(st.Instructions)*perInsnCost +
 			time.Duration(st.HelperCalls)*perHelperCost
 	}
-	tr.cur = nil
-	if cost > 0 {
-		t.probeCost += cost
-		t.Compute(cost)
-	}
+	return cost
 }

@@ -16,6 +16,7 @@ cd "$(dirname "$0")/.."
 BENCHES="
 ringbuf|BenchmarkRingbufThroughput|./internal/ebpf/
 sketch|BenchmarkSketchHotPath|./internal/ebpf/
+waitstate|BenchmarkWaitStateHotPath|./internal/probes/
 interpreter|BenchmarkEBPFInterpreterListing1|.
 jit|BenchmarkEBPFCompiledListing1|.
 verifier|BenchmarkEBPFVerifier|.

@@ -25,6 +25,9 @@
 #   cardinality smoke                     the quick sketch sweep must
 #                                         match its checked-in golden
 #                                         rendering byte-for-byte
+#   waitstates smoke                      the quick wait-state sweep
+#                                         must match its checked-in
+#                                         golden rendering byte-for-byte
 #   examples smoke                        build and run every examples/*
 #                                         binary with tiny parameters so
 #                                         the documented entry points
@@ -82,6 +85,7 @@ cover_floor() {
 }
 cover_floor ./internal/ebpf 70
 cover_floor ./internal/probes 70
+cover_floor ./internal/core 70
 cover_floor ./internal/faults 70
 cover_floor ./internal/stats 70
 cover_floor ./internal/trace 70
@@ -98,6 +102,8 @@ go test -run '^$' -benchtime 1x \
     . >/dev/null
 go test -run '^$' -benchtime 1x -bench '^(BenchmarkRingbufThroughput|BenchmarkSketchHotPath)$' \
     ./internal/ebpf/ >/dev/null
+go test -run '^$' -benchtime 1x -bench '^BenchmarkWaitStateHotPath$' \
+    ./internal/probes/ >/dev/null
 go test -run '^$' -benchtime 1x -bench '^BenchmarkFleetEpochs$' \
     ./internal/fleet/ >/dev/null
 
@@ -133,6 +139,23 @@ if ! diff -u internal/harness/testdata/golden/cardinality.txt "$cddir/card.out";
 fi
 echo "   cardinality sweep vs golden: byte-identical"
 rm -rf "$cddir"
+
+echo "== waitstates smoke (wait-state sweep vs golden)"
+# The wait-state pipeline's end-to-end contract against the real
+# binary: the quick silo sweep (sched-probe decomposition table + fault
+# diagnosis + folded stacks) must match the checked-in rendering
+# byte-for-byte. `make golden` regenerates the fixture after an
+# intentional change.
+wsdir=$(mktemp -d)
+go build -o "$wsdir/reqlens" ./cmd/reqlens
+"$wsdir/reqlens" waitstates -quick -workload silo >"$wsdir/ws.out"
+if ! diff -u internal/harness/testdata/golden/waitstates.txt "$wsdir/ws.out"; then
+    echo "waitstates output diverged from golden (make golden if intentional)" >&2
+    rm -rf "$wsdir"
+    exit 1
+fi
+echo "   wait-state sweep vs golden: byte-identical"
+rm -rf "$wsdir"
 
 echo "== resilience smoke (kill -9 mid-sweep, resume, diff)"
 # The supervision stack's end-to-end contract, exercised against the

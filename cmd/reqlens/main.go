@@ -16,6 +16,8 @@
 //	reqlens waitstates [-workload W] [flags] # sched-probe wait-state decomposition + fault diagnosis
 //	reqlens fleet [-nodes N] [flags]    # multi-node cluster sweep with scrape/merge rollups
 //	reqlens cardinality [flags]         # sketch error/memory vs key cardinality (1e2..1e6)
+//	reqlens attribution [-trials N] [flags] # supervised fault-attribution matrix (precision/recall/delay)
+//	reqlens autoscale [flags]           # closed-loop autoscaler: QoS recovery vs actuation latency
 //	reqlens telemetry -journal F [-top N] # render a recorded run journal
 //	reqlens resume -journal F           # re-run a journaled sweep, skipping done points
 //	reqlens all   [flags]               # everything above except robustness
@@ -92,7 +94,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|waitstates|fleet|cardinality|telemetry|resume|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: reqlens <table1|fig1|fig2|fig3|fig4|fig5|table2|overhead|iouring|stream|robustness|waitstates|fleet|cardinality|attribution|autoscale|telemetry|resume|all> [flags]")
 	os.Exit(2)
 }
 
@@ -168,6 +170,7 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 	missRate := fs.Float64("missrate", 0.05, "fleet subcommand: probability a scrape attempt fails")
 	epochs := fs.Int("epochs", 8, "fleet subcommand: scrape rounds per load level")
 	topK := fs.Int("topk", 3, "fleet subcommand: entries in the per-epoch saturation/noise rankings")
+	trials := fs.Int("trials", 5, "attribution subcommand: trials per fault scenario")
 	if err := fs.Parse(args); err != nil {
 		usage()
 	}
@@ -307,6 +310,11 @@ func run(cmd string, args []string, resume map[string]telemetry.Record) {
 			cards = []int{100, 1_000, 10_000}
 		}
 		fmt.Print(harness.RenderCardinality(harness.CardinalitySweep(cards, opt)))
+	case "attribution":
+		fmt.Print(harness.RenderAttribution(harness.AttributionMatrix(opt, *trials)))
+	case "autoscale":
+		res := harness.AutoscaleScenario(harness.DefaultAutoscaleLatencies(), opt)
+		fmt.Print(harness.RenderAutoscale(res))
 	case "fleet":
 		runFleet(opt, fleet.SweepOptions{
 			Nodes:  fleet.DefaultSpecs(*nodes),

@@ -1,12 +1,14 @@
-// Black-box autoscaler: the Section VI use case.
+// Black-box autoscaler: the Section VI use case, closed-loop.
 //
 // A resource-management runtime usually needs the application to report
 // its own throughput and latency. Here the controller sees only the
-// in-kernel signals from the reqlens observer — saturation slack from
-// epoll durations and the variance alarm — and decides how many cores
-// the service deserves. The simulation then replays the decision log
-// against ground truth to show the controller would have acted at the
-// right moments.
+// in-kernel signals from the reqlens observer — the online saturation
+// detector's chart alarms plus epoll-slack — and internal/control's
+// autoscaler (hysteresis, cooldown, modeled actuation latency) decides
+// how many cores the service deserves. The loop is closed: decisions
+// actually resize the server's online CPU set mid-run, and the log
+// replays them against ground-truth p99 to show the controller acted at
+// the right moments.
 //
 // The controller also answers "scale up *what*": the sketch-based
 // attribution pipeline (count-min + HashPipe in fixed map space) names
@@ -23,19 +25,22 @@ import (
 	"os"
 	"time"
 
+	"reqlens/internal/control"
 	"reqlens/internal/core"
 	"reqlens/internal/harness"
 	"reqlens/internal/loadgen"
 	"reqlens/internal/workloads"
 )
 
-// decision is one control action derived purely from kernel-space
-// observations.
+// decision is one tick's controller state, derived purely from
+// kernel-space observations.
 type decision struct {
 	tick    int
 	action  string
+	alarmed bool
 	slack   float64
 	rps     float64
+	cores   int
 	trueP99 time.Duration
 }
 
@@ -48,17 +53,27 @@ func main() {
 		Attribution:       true,
 		AttributionOracle: true, // exact per-tgid truth, for the agreement check
 	})
-	detector := core.NewSaturationDetector(6, 8)
-	slack := core.NewSlackEstimator()
+	defer rig.Close()
+
+	// The service starts on half the machine; the autoscaler may grow it
+	// back. Actuation takes a modeled second — cores requested now
+	// arrive one second of simulated time later.
+	const startCores = 4
+	rig.ServerK.SetOnlineCPUs(startCores)
 	rig.Warmup(2 * time.Second)
 
-	// The service currently "owns" a nominal allocation; the controller
-	// recommends scaling from the observed signals alone.
-	cores := 4
-	var log []decision
+	detector := control.NewSaturationDetector(control.DetectorConfig{Warmup: 4})
+	slack := core.NewSlackEstimator()
+	scaler := control.NewAutoscaler(startCores, control.AutoscalerConfig{
+		Min: 3, Max: workloads.ServerCores,
+		Cooldown: 3 * time.Second,
+		Latency:  time.Second,
+	})
 
+	var log []decision
+	var now time.Duration
 	for tick := 0; tick < 20; tick++ {
-		if tick == 6 || tick == 12 { // demand grows in two surges
+		if tick == 6 { // demand surges to 0.75x the failure rate
 			loadgen.New(rig.ClientK, rig.Server.Listener(), loadgen.Options{
 				Rate:      0.45 * spec.FailureRPS,
 				Conns:     16,
@@ -67,34 +82,46 @@ func main() {
 			})
 		}
 		m := rig.Measure(time.Second)
-		saturated := detector.Observe(m.SendVarUS2)
+		now += time.Second
+		_, alarmed := detector.Observe(now, control.Sample{
+			SendVarUS2: m.SendVarUS2, RPS: m.RPSObsv, PollMeanNS: m.PollMeanNS,
+		})
 		sl := slack.Observe(time.Duration(m.PollMeanNS))
 
 		action := "hold"
-		switch {
-		case saturated || sl < 0.08:
-			cores += 2
-			action = fmt.Sprintf("scale up -> %d cores", cores)
-		case sl > 0.6 && cores > 2:
-			cores--
-			action = fmt.Sprintf("scale down -> %d cores", cores)
+		if d, ok := scaler.Observe(now, alarmed, sl); ok {
+			action = fmt.Sprintf("%v -> %d cores (%s)", d.Action, d.To, d.Reason)
+			if lead := d.EffectiveAt - now; lead > 0 {
+				target := d.To
+				rig.Env.Schedule(lead, func() { rig.ServerK.SetOnlineCPUs(target) })
+			} else {
+				rig.ServerK.SetOnlineCPUs(d.To)
+			}
 		}
 		log = append(log, decision{
-			tick: tick, action: action, slack: sl,
-			rps: m.RPSObsv, trueP99: m.Load.P99,
+			tick: tick, action: action, alarmed: alarmed, slack: sl,
+			rps: m.RPSObsv, cores: scaler.Target(), trueP99: m.Load.P99,
 		})
 	}
 	// Attribution read-out: the sketch path names the hot process; the
 	// exact oracle (a real deployment would not carry one) verifies it.
 	offenders := rig.Attr.TopOffenders(3)
 	exact := rig.Attr.ExactCounts()
-	rig.Close()
 
-	fmt.Printf("controller input: RPS_obsv + slack + variance alarm (no app metrics)\n\n")
-	fmt.Printf("%-5s %10s %8s %14s   %s\n", "tick", "RPS_obsv", "slack", "p99 (truth)", "action")
+	fmt.Printf("controller input: RPS_obsv + slack + chart alarms (no app metrics)\n\n")
+	fmt.Printf("%-5s %10s %6s %8s %6s %14s   %s\n",
+		"tick", "RPS_obsv", "alarm", "slack", "cores", "p99 (truth)", "action")
 	for _, d := range log {
-		fmt.Printf("%-5d %10.0f %7.0f%% %14v   %s\n",
-			d.tick, d.rps, 100*d.slack, d.trueP99.Round(time.Millisecond), d.action)
+		al := "-"
+		if d.alarmed {
+			al = "ALARM"
+		}
+		p99 := "-" // no base-client response completed this tick
+		if d.trueP99 > 0 {
+			p99 = d.trueP99.Round(time.Millisecond).String()
+		}
+		fmt.Printf("%-5d %10.0f %6s %7.0f%% %6d %14s   %s\n",
+			d.tick, d.rps, al, 100*d.slack, d.cores, p99, d.action)
 	}
 	fmt.Println("\nScale-up actions cluster where the ground-truth p99 degrades: the")
 	fmt.Println("runtime managed the service without a single userspace metric.")

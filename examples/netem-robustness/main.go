@@ -32,10 +32,9 @@ func measure(cfg netsim.Config) harness.Measurement {
 		Netem:  cfg,
 		Probes: true,
 	})
+	defer rig.Close()
 	rig.Warmup(20 * time.Second) // low RPS: wide warmup for stable stats
-	m := rig.Measure(60 * time.Second)
-	rig.Close()
-	return m
+	return rig.Measure(60 * time.Second)
 }
 
 func main() {

@@ -26,6 +26,7 @@ func main() {
 		Rate:   0.45 * spec.FailureRPS, // base load; steps add more
 		Probes: true,
 	})
+	defer rig.Close()
 
 	detector := core.NewSaturationDetector(1.8, 8)
 	slack := core.NewSlackEstimator()
@@ -69,7 +70,6 @@ func main() {
 			tick, m.RPSObsv, m.SendVarUS2, 100*sl,
 			m.Load.P99.Round(time.Millisecond), verdict, truth)
 	}
-	rig.Close()
 
 	fmt.Println("\nThe slack signal collapses in the same step the client-side p99")
 	fmt.Println("crosses the QoS limit, and the variance alarm fires as the overload")

@@ -1,0 +1,183 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"reqlens/internal/stats"
+	"reqlens/internal/telemetry"
+)
+
+// Sample is one estimation window's probe read-out, the detector's only
+// input — all three fields come from the in-kernel probes, never from
+// client-side ground truth.
+type Sample struct {
+	SendVarUS2 float64 // Eq. 2 variance of send deltas (µs²)
+	RPS        float64 // Eq. 1 send-rate estimate (req/s)
+	PollMeanNS float64 // Fig. 4 mean epoll_wait duration (ns)
+}
+
+// Signal names which chart raised an alarm.
+type Signal int
+
+const (
+	// SignalVariance is the CUSUM chart on log₂ send-delta variance —
+	// the paper's knee detector, sensitive to the upward variance
+	// explosion at saturation.
+	SignalVariance Signal = iota
+	// SignalPoll is the two-sided EWMA chart on log₂ poll duration —
+	// sensitive to slack collapsing (overload) or the poll distribution
+	// shifting under network degradation.
+	SignalPoll
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SignalVariance:
+		return "variance"
+	case SignalPoll:
+		return "poll"
+	}
+	return fmt.Sprintf("signal(%d)", int(s))
+}
+
+// Alarm is one tripped detection with its timestamp.
+type Alarm struct {
+	At     time.Duration // sim offset passed to Observe
+	Window int           // 0-based index of the tripping sample
+	Signal Signal        // which chart tripped (variance wins ties)
+	Score  float64       // the tripping chart's statistic
+}
+
+// DetectorConfig tunes the online saturation detector. The zero value
+// takes calibrated defaults.
+type DetectorConfig struct {
+	// Warmup is how many leading samples train the baseline before the
+	// charts arm; during warmup Observe never alarms. Default 8.
+	Warmup int
+	// VarDrift and VarThreshold are the CUSUM k and h on standardized
+	// log₂ send-delta variance. Defaults 0.5 and 6.
+	VarDrift, VarThreshold float64
+	// PollLambda and PollLimit are the EWMA smoothing weight and
+	// control-limit width on standardized log₂ poll duration. Defaults
+	// 0.3 and 7.
+	PollLambda, PollLimit float64
+	// Telemetry, when non-nil, receives control_samples_total and
+	// control_alarms_total counters.
+	Telemetry *telemetry.Registry
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Warmup <= 0 {
+		c.Warmup = 8
+	}
+	if c.VarDrift <= 0 {
+		c.VarDrift = 0.5
+	}
+	if c.VarThreshold <= 0 {
+		c.VarThreshold = 6
+	}
+	if c.PollLambda <= 0 {
+		c.PollLambda = 0.3
+	}
+	if c.PollLimit <= 0 {
+		c.PollLimit = 7
+	}
+	return c
+}
+
+// sigmaFloor keeps standardization sane when the warmup baseline is
+// near-constant (a perfectly paced workload has tiny log-variance
+// spread): residuals are measured against at least this many log₂
+// units, so a genuine regime change still standardizes to a large
+// value while quantization noise does not. Calibration: healthy poll
+// baselines spread ~0.03 log₂ units window-to-window, and the subtlest
+// real fault worth catching (5% loss on a 10ms link) shifts the poll
+// mean by ~0.36 — a floor of 0.1 keeps that shift above the EWMA limit
+// (z ≈ 3.6) while healthy jitter stays an order of magnitude below it.
+const sigmaFloor = 0.1
+
+// SaturationDetector consumes per-window Samples and raises typed
+// alarms once a chart leaves its self-calibrated baseline. It is
+// allocation-free per Observe.
+type SaturationDetector struct {
+	cfg DetectorConfig
+
+	varBase  stats.Online // warmup baseline of log₂(SendVarUS2+1)
+	pollBase stats.Online // warmup baseline of log₂(PollMeanNS+1)
+	cusum    *stats.CUSUM
+	ewma     *stats.EWMA
+
+	n int // samples consumed
+
+	telSamples *telemetry.Counter
+	telAlarms  *telemetry.Counter
+}
+
+// NewSaturationDetector builds a detector; zero config fields take the
+// calibrated defaults.
+func NewSaturationDetector(cfg DetectorConfig) *SaturationDetector {
+	cfg = cfg.withDefaults()
+	return &SaturationDetector{
+		cfg:        cfg,
+		cusum:      stats.NewCUSUM(cfg.VarDrift, cfg.VarThreshold),
+		ewma:       stats.NewEWMA(cfg.PollLambda, cfg.PollLimit),
+		telSamples: cfg.Telemetry.Counter("control_samples_total"),
+		telAlarms:  cfg.Telemetry.Counter("control_alarms_total"),
+	}
+}
+
+// Warmed reports whether the baseline is trained and the charts are
+// armed.
+func (d *SaturationDetector) Warmed() bool { return d.n >= d.cfg.Warmup }
+
+// Windows returns how many samples the detector has consumed.
+func (d *SaturationDetector) Windows() int { return d.n }
+
+// standardize returns x's residual against base, with the floored
+// sigma.
+func standardize(x float64, base *stats.Online) float64 {
+	sigma := base.Stddev()
+	if sigma < sigmaFloor {
+		sigma = sigmaFloor
+	}
+	return (x - base.Mean()) / sigma
+}
+
+// Observe folds one window's sample. During warmup it trains the
+// baseline and never alarms; afterwards it standardizes the sample
+// against the frozen baseline and reports the first chart that trips
+// (variance wins when both do).
+func (d *SaturationDetector) Observe(at time.Duration, s Sample) (Alarm, bool) {
+	d.telSamples.Inc()
+	w := d.n
+	d.n++
+	varLog := math.Log2(s.SendVarUS2 + 1)
+	pollLog := math.Log2(s.PollMeanNS + 1)
+	if w < d.cfg.Warmup {
+		d.varBase.Add(varLog)
+		d.pollBase.Add(pollLog)
+		return Alarm{}, false
+	}
+	varTrip := d.cusum.Observe(standardize(varLog, &d.varBase))
+	pollTrip := d.ewma.Observe(standardize(pollLog, &d.pollBase))
+	switch {
+	case varTrip:
+		d.telAlarms.Inc()
+		return Alarm{At: at, Window: w, Signal: SignalVariance, Score: d.cusum.Stat()}, true
+	case pollTrip:
+		d.telAlarms.Inc()
+		return Alarm{At: at, Window: w, Signal: SignalPoll, Score: d.ewma.Value()}, true
+	}
+	return Alarm{}, false
+}
+
+// Reset clears the charts and the baseline for a fresh run.
+func (d *SaturationDetector) Reset() {
+	d.varBase.Reset()
+	d.pollBase.Reset()
+	d.cusum.Reset()
+	d.ewma.Reset()
+	d.n = 0
+}

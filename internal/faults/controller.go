@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"reqlens/internal/kernel"
+	"reqlens/internal/netsim"
 	"reqlens/internal/sim"
 )
 
@@ -24,6 +25,9 @@ type Target struct {
 	// Probes is the attached batch observer, required only for plans
 	// containing ProbeChurn faults.
 	Probes ProbeSet
+	// Net is the network whose links NetemShift reshapes, required only
+	// for plans containing NetemShift faults.
+	Net *netsim.Network
 }
 
 // injector is one armed fault instance with its private random stream.
@@ -70,6 +74,9 @@ func Arm(plan Plan, tgt Target) (*Controller, error) {
 	for _, f := range plan.Faults {
 		if f.Kind == ProbeChurn && tgt.Probes == nil {
 			return nil, fmt.Errorf("faults: plan %q: probe-churn needs an attached observer", plan.Name)
+		}
+		if f.Kind == NetemShift && tgt.Net == nil {
+			return nil, fmt.Errorf("faults: plan %q: netem-shift needs a target network", plan.Name)
 		}
 	}
 	c := &Controller{plan: plan, tgt: tgt, applied: make(map[string]int)}
@@ -128,6 +135,8 @@ func (c *Controller) start(inj *injector) {
 		c.stalls++
 	case ProbeChurn:
 		c.tgt.Probes.Detach()
+	case NetemShift:
+		c.tgt.Net.Reshape(inj.f.Netem)
 	}
 }
 
@@ -157,6 +166,8 @@ func (c *Controller) end(inj *injector) {
 		if err := c.tgt.Probes.Reattach(); err != nil {
 			c.lastErr = err
 		}
+	case NetemShift:
+		c.tgt.Net.ClearReshape()
 	}
 }
 

@@ -31,6 +31,12 @@ const (
 	// ProbeChurn detaches the batch probes at the window start and
 	// reattaches them at the end, as an agent restart would.
 	ProbeChurn
+	// NetemShift reshapes every network link to the fault's Netem config
+	// for the window (a mid-run `tc qdisc change`), restoring the links'
+	// original shaping at the end. Unlike Plan.Netem — which is a
+	// whole-run link property — NetemShift gives network degradation a
+	// ground-truth onset time, which the attribution experiments need.
+	NetemShift
 )
 
 func (k Kind) String() string {
@@ -47,6 +53,8 @@ func (k Kind) String() string {
 		return "ring-stall"
 	case ProbeChurn:
 		return "probe-churn"
+	case NetemShift:
+		return "netem-shift"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -64,6 +72,7 @@ type Fault struct {
 	Period    time.Duration // MigrationStorm flush interval / NoisyNeighbor pacing
 	Burn      time.Duration // NoisyNeighbor per-iteration CPU burn
 	Amplitude time.Duration // ClockJitter maximum skew per read
+	Netem     netsim.Config // NetemShift: link config for the window
 }
 
 // withDefaults fills zero parameters with the calibrated defaults used
@@ -116,14 +125,54 @@ func (p Plan) HasNetem() bool { return p.Netem != (netsim.Config{}) }
 // Validate rejects malformed schedules before any event is armed.
 func (p Plan) Validate() error {
 	for i, f := range p.Faults {
-		if f.Kind < CPUOffline || f.Kind > ProbeChurn {
+		if f.Kind < CPUOffline || f.Kind > NetemShift {
 			return fmt.Errorf("faults: plan %q fault %d: unknown kind %d", p.Name, i, int(f.Kind))
 		}
 		if f.Start < 0 || f.Duration < 0 {
 			return fmt.Errorf("faults: plan %q fault %d (%v): negative schedule", p.Name, i, f.Kind)
 		}
+		if f.Kind == NetemShift && f.Netem == (netsim.Config{}) {
+			return fmt.Errorf("faults: plan %q fault %d: netem-shift with zero link config", p.Name, i)
+		}
 	}
 	return nil
+}
+
+// Window is one ground-truth active interval of a scheduled fault,
+// relative to the Arm time. Open windows (Duration 0) run until Clear.
+// Periodic faults (MigrationStorm, NoisyNeighbor) count their whole
+// armed span as active: Period paces perturbations within the window,
+// it does not gate activity on and off.
+type Window struct {
+	Kind  Kind
+	Start time.Duration
+	End   time.Duration // exclusive; meaningful only when !Open
+	Open  bool          // no scheduled end: active until Clear
+}
+
+// Contains reports whether offset t (relative to Arm) falls inside the
+// window.
+func (w Window) Contains(t time.Duration) bool {
+	if t < w.Start {
+		return false
+	}
+	return w.Open || t < w.End
+}
+
+// Windows returns the plan's ground-truth active intervals, one per
+// scheduled fault in schedule order — the supervision labels the
+// attribution scorer grades against, derived from the same Start and
+// Duration the controller arms, so scorer and injector cannot drift.
+// Plan.Netem is not a window: whole-run link shaping has no onset.
+func (p Plan) Windows() []Window {
+	if len(p.Faults) == 0 {
+		return nil
+	}
+	out := make([]Window, len(p.Faults))
+	for i, f := range p.Faults {
+		out[i] = Window{Kind: f.Kind, Start: f.Start, End: f.Start + f.Duration, Open: f.Duration == 0}
+	}
+	return out
 }
 
 // Baseline is the explicit fault-free plan.
@@ -174,6 +223,13 @@ func RingStallPlan(start, dur time.Duration) Plan {
 func ProbeChurnPlan(start, dur time.Duration) Plan {
 	return Plan{Name: "probe-churn", Seed: 16,
 		Faults: []Fault{{Kind: ProbeChurn, Start: start, Duration: dur}}}
+}
+
+// NetemShiftPlan reshapes every link to cfg from start for dur
+// (0 = until Clear) — the windowed counterpart of DelayPlan/LossPlan.
+func NetemShiftPlan(start, dur time.Duration, cfg netsim.Config) Plan {
+	return Plan{Name: "netem-shift", Seed: 17,
+		Faults: []Fault{{Kind: NetemShift, Start: start, Duration: dur, Netem: cfg}}}
 }
 
 // StandardPlans is the library the robustness matrix and CLI use: the

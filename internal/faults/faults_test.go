@@ -7,6 +7,7 @@ import (
 
 	"reqlens/internal/kernel"
 	"reqlens/internal/machine"
+	"reqlens/internal/netsim"
 	"reqlens/internal/sim"
 )
 
@@ -234,5 +235,91 @@ func TestClearUndoesActiveFaults(t *testing.T) {
 	env.RunFor(5 * time.Millisecond)
 	if c.Applied()["affinity-flush"] != flushes {
 		t.Fatal("storm still ticking after Clear")
+	}
+}
+
+// TestPlanWindows: ground-truth intervals come straight from the
+// schedule — closed windows carry [Start, Start+Duration), open ones
+// (Duration 0) run until Clear.
+func TestPlanWindows(t *testing.T) {
+	if w := Baseline().Windows(); w != nil {
+		t.Fatalf("baseline Windows() = %v, want nil", w)
+	}
+	plan := Plan{Faults: []Fault{
+		{Kind: CPUOffline, Start: time.Second, Duration: 2 * time.Second},
+		{Kind: NoisyNeighbor, Start: 500 * time.Millisecond},
+	}}
+	want := []Window{
+		{Kind: CPUOffline, Start: time.Second, End: 3 * time.Second},
+		{Kind: NoisyNeighbor, Start: 500 * time.Millisecond, End: 500 * time.Millisecond, Open: true},
+	}
+	if got := plan.Windows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	closed := Window{Kind: CPUOffline, Start: time.Second, End: 3 * time.Second}
+	for _, c := range []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false}, {time.Second, true}, {2 * time.Second, true},
+		{3 * time.Second, false}, {4 * time.Second, false},
+	} {
+		if got := closed.Contains(c.at); got != c.want {
+			t.Errorf("closed.Contains(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	open := Window{Kind: NoisyNeighbor, Start: time.Second, End: time.Second, Open: true}
+	if open.Contains(500*time.Millisecond) || !open.Contains(time.Hour) {
+		t.Fatal("open window must contain everything from Start on")
+	}
+}
+
+// TestNetemShiftWindow: the link override appears at the window start
+// and is removed at the end; arming requires a target network and a
+// non-zero config.
+func TestNetemShiftWindow(t *testing.T) {
+	env, k := testKernel(2)
+	defer env.Shutdown()
+	net := netsim.New(env)
+	cfg := netsim.Config{Delay: 10 * time.Millisecond}
+
+	if _, err := Arm(NetemShiftPlan(0, time.Second, cfg), Target{Kernel: k}); err == nil {
+		t.Fatal("Arm accepted netem-shift without a target network")
+	}
+	bad := Plan{Faults: []Fault{{Kind: NetemShift}}}
+	if _, err := Arm(bad, Target{Kernel: k, Net: net}); err == nil {
+		t.Fatal("Arm accepted netem-shift with a zero link config")
+	}
+
+	plan := NetemShiftPlan(time.Millisecond, 2*time.Millisecond, cfg)
+	c := MustArm(plan, Target{Kernel: k, Net: net})
+	var during, after bool
+	env.Schedule(1500*time.Microsecond, func() { during = net.Shaped() })
+	env.Schedule(3500*time.Microsecond, func() { after = net.Shaped() })
+	env.RunFor(5 * time.Millisecond)
+	if !during || after {
+		t.Fatalf("Shaped() during/after window = %v/%v, want true/false", during, after)
+	}
+	if got := c.Applied()["netem-shift"]; got != 1 {
+		t.Fatalf("applied netem-shift %d times, want 1", got)
+	}
+}
+
+// TestNetemShiftClearRestores: Clear mid-window removes the override.
+func TestNetemShiftClearRestores(t *testing.T) {
+	env, k := testKernel(2)
+	defer env.Shutdown()
+	net := netsim.New(env)
+	c := MustArm(NetemShiftPlan(0, 0, netsim.Config{Loss: 0.5}), Target{Kernel: k, Net: net})
+	env.RunFor(time.Millisecond)
+	if !net.Shaped() {
+		t.Fatal("open netem-shift window not applied")
+	}
+	c.Clear()
+	if net.Shaped() {
+		t.Fatal("Clear left the link override in place")
 	}
 }

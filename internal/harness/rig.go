@@ -204,7 +204,7 @@ func NewNode(env *sim.Env, spec workloads.Spec, opt RigOptions) *Node {
 // shaping is a whole-run property that experiments fold into
 // RigOptions.Netem when building the node.
 func (n *Node) Arm(plan faults.Plan) *faults.Controller {
-	tgt := faults.Target{Kernel: n.ServerK}
+	tgt := faults.Target{Kernel: n.ServerK, Net: n.Net}
 	if n.Obs != nil {
 		tgt.Probes = n.Obs
 	}

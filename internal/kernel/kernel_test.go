@@ -371,3 +371,49 @@ func TestFlushCPUAffinityChargesSwitch(t *testing.T) {
 		t.Fatalf("SchedCounters: dispatches=%d ctxSwitches=%d, want 2 switches", d, cs)
 	}
 }
+
+// TestSetOnlineCPUs covers the autoscaler's actuation primitive: clamp
+// to [1, ncpu], shrink offlines highest ids, grow dispatches queued
+// threads onto the freed CPUs immediately.
+func TestSetOnlineCPUs(t *testing.T) {
+	env, k := newTestKernel(4)
+	if got := k.SetOnlineCPUs(0); got != 1 {
+		t.Fatalf("SetOnlineCPUs(0) = %d, want clamp to 1", got)
+	}
+	if got := k.SetOnlineCPUs(99); got != 4 {
+		t.Fatalf("SetOnlineCPUs(99) = %d, want clamp to 4", got)
+	}
+	if got := k.SetOnlineCPUs(2); got != 2 || k.OnlineCPUs() != 2 {
+		t.Fatalf("SetOnlineCPUs(2) = %d (online %d), want 2", got, k.OnlineCPUs())
+	}
+	if got := k.SetOnlineCPUs(2); got != 2 {
+		t.Fatalf("idempotent SetOnlineCPUs(2) = %d, want 2", got)
+	}
+
+	// Scale up mid-queue: 4 threads behind 2 CPUs, grow to 4 at 2ms.
+	// Timeslice preemption round-robins the four 4ms computations, so
+	// the pool behaves as processor sharing: 16ms of work runs on 2
+	// CPUs until the resize (4ms done by t=2ms) and on 4 after, so the
+	// last completion lands at 2ms + 12ms/4 = 5ms. Without the
+	// dispatch-on-resize kick the queued threads would stall instead.
+	p := k.NewProcess("srv")
+	done := 0
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		p.SpawnThread("w", func(t *Thread) {
+			t.Compute(4 * time.Millisecond)
+			done++
+			if t.Now() > last {
+				last = t.Now()
+			}
+		})
+	}
+	env.Schedule(2*time.Millisecond, func() { k.SetOnlineCPUs(4) })
+	env.Run()
+	if done != 4 {
+		t.Fatalf("only %d/4 threads completed after scale-up", done)
+	}
+	if last != sim.Time(5*time.Millisecond) {
+		t.Fatalf("last completion at %v, want 5ms (queued work dispatched at resize)", last)
+	}
+}

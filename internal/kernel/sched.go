@@ -172,6 +172,46 @@ func (s *scheduler) onlineAllCPUs() {
 	}
 }
 
+// setOnlineCPUs adjusts the online CPU count to n, clamped to
+// [1, ncpu]: shrinking offlines highest-id CPUs first (as offlineCPUs),
+// growing onlines lowest-id offline CPUs and dispatches queued threads
+// onto each freed CPU immediately (as onlineAllCPUs). Returns the
+// resulting online count — the autoscaler's actuation primitive.
+func (s *scheduler) setOnlineCPUs(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.ncpu {
+		n = s.ncpu
+	}
+	cur := s.onlineCount()
+	if n < cur {
+		s.offlineCPUs(cur - n)
+		return s.onlineCount()
+	}
+	for _, c := range s.cpus {
+		if cur >= n {
+			break
+		}
+		if !c.offline {
+			continue
+		}
+		c.offline = false
+		cur++
+		if !c.busy && len(s.runq) > 0 {
+			next := s.runq[0]
+			s.runq = s.runq[1:]
+			next.cpu = c
+			c.busy = true
+			s.dispatches++
+			s.telDispatches.Inc()
+			s.k.tracer.schedSwitch(nil, TaskRunning, next)
+			next.waker.Wake()
+		}
+	}
+	return cur
+}
+
 func (s *scheduler) onlineCount() int {
 	n := 0
 	for _, c := range s.cpus {

@@ -201,6 +201,12 @@ func (c *Client) Snapshot() Results {
 	return r
 }
 
+// TGID returns the client process's thread-group id. Attribution
+// experiments allowlist it when computing foreign syscall share: a
+// co-located load generator's syscalls are expected traffic, not a
+// foreign tenant's.
+func (c *Client) TGID() int { return c.proc.TGID() }
+
 // Completed returns the number of responses received in the current
 // measurement window.
 func (c *Client) Completed() uint64 { return c.completed }

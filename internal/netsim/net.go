@@ -42,6 +42,10 @@ type Network struct {
 	rng    *rand.Rand
 	nextFD int
 
+	// shape, when non-nil, overrides every link's configuration — the
+	// `tc qdisc change` analogue used for mid-run netem fault windows.
+	shape *Config
+
 	// global accounting for tests and reports
 	packetsSent uint64
 	packetsLost uint64
@@ -64,6 +68,33 @@ func (n *Network) PacketsLost() uint64 { return n.packetsLost }
 func (n *Network) fd() int {
 	n.nextFD++
 	return n.nextFD
+}
+
+// Reshape overrides the configuration of every link — existing
+// connections and ones dialed later — until ClearReshape, the way
+// `tc qdisc change` swaps a live qdisc. In-flight messages keep the
+// delivery times computed at send; only subsequent sends see cfg.
+// Reshape consumes no randomness by itself, so reshaping to the same
+// configuration is behaviour-neutral.
+func (n *Network) Reshape(cfg Config) {
+	n.shape = &cfg
+}
+
+// ClearReshape removes the Reshape override, returning every link to
+// the configuration it was created with. No-op when nothing is shaped.
+func (n *Network) ClearReshape() {
+	n.shape = nil
+}
+
+// Shaped reports whether a Reshape override is in effect.
+func (n *Network) Shaped() bool { return n.shape != nil }
+
+// effective resolves a link's active configuration under any override.
+func (n *Network) effective(cfg Config) Config {
+	if n.shape != nil {
+		return *n.shape
+	}
+	return cfg
 }
 
 // Message is one request or response payload in flight.
@@ -96,9 +127,10 @@ type pipe struct {
 // The regime split is why the paper's loss experiments barely perturb a
 // 62k-RPS memcached yet wreck a 21-RPS inference server's tail.
 func (p *pipe) send(m *Message) {
+	cfg := p.net.effective(p.cfg)
 	now := p.net.env.Now()
 	gap := now.Sub(p.prevSend)
-	dense := p.hasPrev && gap < 2*p.cfg.Delay+time.Millisecond
+	dense := p.hasPrev && gap < 2*cfg.Delay+time.Millisecond
 	p.prevSend = now
 	p.hasPrev = true
 	m.SentAt = now
@@ -106,7 +138,7 @@ func (p *pipe) send(m *Message) {
 
 	// Count retransmissions: each (re)transmission is lost independently.
 	retx := 0
-	for p.cfg.Loss > 0 && p.net.rng.Float64() < p.cfg.Loss {
+	for cfg.Loss > 0 && p.net.rng.Float64() < cfg.Loss {
 		if retx == 0 {
 			p.net.packetsLost++
 		}
@@ -117,11 +149,11 @@ func (p *pipe) send(m *Message) {
 	}
 	var retxDelay time.Duration
 	if retx > 0 {
-		rto := p.cfg.rto()
+		rto := cfg.rto()
 		for i := 0; i < retx; i++ {
 			if i == 0 && dense {
 				// Fast retransmit: ~1 RTT once dup-ACKs arrive.
-				fast := 2 * p.cfg.Delay
+				fast := 2 * cfg.Delay
 				if fast < time.Millisecond {
 					fast = time.Millisecond
 				}
@@ -133,9 +165,9 @@ func (p *pipe) send(m *Message) {
 			rto *= 2
 		}
 	}
-	delay := p.cfg.Delay + p.cfg.txTime(m.Size) + retxDelay
-	if p.cfg.Jitter > 0 {
-		delay += time.Duration(p.net.rng.Float64() * float64(p.cfg.Jitter))
+	delay := cfg.Delay + cfg.txTime(m.Size) + retxDelay
+	if cfg.Jitter > 0 {
+		delay += time.Duration(p.net.rng.Float64() * float64(cfg.Jitter))
 	}
 
 	arrival := now.Add(delay)

@@ -498,3 +498,62 @@ func TestSockFDsDistinct(t *testing.T) {
 		t.Fatal("fd collision")
 	}
 }
+
+// TestReshapeOverridesAndRestores: Reshape swaps every link's shaping
+// mid-run (messages sent under the override see the new delay) and
+// ClearReshape returns links to their creation config.
+func TestReshapeOverridesAndRestores(t *testing.T) {
+	env, k, n := testRig(2)
+	a, b := n.NewConn(Config{Delay: time.Millisecond})
+	p := k.NewProcess("p")
+	var recvAt [3]sim.Time
+	p.SpawnThread("rx", func(th *kernel.Thread) {
+		for i := range recvAt {
+			b.Recv(th, kernel.SysRecvfrom)
+			recvAt[i] = th.Now()
+		}
+	})
+	p.SpawnThread("tx", func(th *kernel.Thread) {
+		a.Send(th, kernel.SysSendto, &Message{ID: 1, Size: 64})
+		th.Sleep(10 * time.Millisecond)
+		n.Reshape(Config{Delay: 20 * time.Millisecond})
+		a.Send(th, kernel.SysSendto, &Message{ID: 2, Size: 64})
+		th.Sleep(40 * time.Millisecond)
+		n.ClearReshape()
+		a.Send(th, kernel.SysSendto, &Message{ID: 3, Size: 64})
+	})
+	env.Run()
+	if recvAt[0] > sim.Time(2*time.Millisecond) {
+		t.Fatalf("pre-shape delivery at %v, want ~1ms", recvAt[0])
+	}
+	if shaped := recvAt[1].Sub(sim.Time(10 * time.Millisecond)); shaped < 20*time.Millisecond {
+		t.Fatalf("shaped delivery took %v, want >= the 20ms override", shaped)
+	}
+	if restored := recvAt[2].Sub(sim.Time(50 * time.Millisecond)); restored > 2*time.Millisecond {
+		t.Fatalf("post-clear delivery took %v, want the original ~1ms", restored)
+	}
+	if n.Shaped() {
+		t.Fatal("Shaped() true after ClearReshape")
+	}
+}
+
+// TestReshapeAppliesToNewConns: connections dialed under an override
+// are shaped by it too (the override is network-wide, not per-link).
+func TestReshapeAppliesToNewConns(t *testing.T) {
+	env, k, n := testRig(2)
+	n.Reshape(Config{Delay: 5 * time.Millisecond})
+	a, b := n.NewConn(Config{})
+	p := k.NewProcess("p")
+	var recvAt sim.Time
+	p.SpawnThread("rx", func(th *kernel.Thread) {
+		b.Recv(th, kernel.SysRecvfrom)
+		recvAt = th.Now()
+	})
+	p.SpawnThread("tx", func(th *kernel.Thread) {
+		a.Send(th, kernel.SysSendto, &Message{ID: 1, Size: 64})
+	})
+	env.Run()
+	if recvAt < sim.Time(5*time.Millisecond) {
+		t.Fatalf("delivery at %v under a 5ms override", recvAt)
+	}
+}

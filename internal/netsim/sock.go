@@ -156,7 +156,7 @@ func (l *Listener) Dial(t *kernel.Thread) *Sock {
 	t.Invoke(kernel.SysSocket, [6]uint64{}, func() int64 {
 		var server *Sock
 		client, server = l.net.NewConn(l.cfg)
-		l.net.env.Post(l.cfg.Delay, func() {
+		l.net.env.Post(l.net.effective(l.cfg).Delay, func() {
 			l.pending = append(l.pending, server)
 			for _, w := range l.waiters {
 				w.Wake()

@@ -17,6 +17,7 @@ BENCHES="
 ringbuf|BenchmarkRingbufThroughput|./internal/ebpf/
 sketch|BenchmarkSketchHotPath|./internal/ebpf/
 waitstate|BenchmarkWaitStateHotPath|./internal/probes/
+control|BenchmarkDetectorHotPath|./internal/control/
 interpreter|BenchmarkEBPFInterpreterListing1|.
 jit|BenchmarkEBPFCompiledListing1|.
 verifier|BenchmarkEBPFVerifier|.

@@ -28,6 +28,10 @@
 #   waitstates smoke                      the quick wait-state sweep
 #                                         must match its checked-in
 #                                         golden rendering byte-for-byte
+#   attribution smoke                     the quick fault-attribution
+#                                         matrix and autoscale table
+#                                         must match their checked-in
+#                                         golden renderings
 #   examples smoke                        build and run every examples/*
 #                                         binary with tiny parameters so
 #                                         the documented entry points
@@ -92,6 +96,7 @@ cover_floor ./internal/trace 70
 cover_floor ./internal/telemetry 70
 cover_floor ./internal/resilience 70
 cover_floor ./internal/fleet 70
+cover_floor ./internal/control 70
 
 echo "== bench smoke (substrate benches, 1 iteration)"
 # Every microbenchmark scripts/bench.sh records must still run; a
@@ -104,6 +109,8 @@ go test -run '^$' -benchtime 1x -bench '^(BenchmarkRingbufThroughput|BenchmarkSk
     ./internal/ebpf/ >/dev/null
 go test -run '^$' -benchtime 1x -bench '^BenchmarkWaitStateHotPath$' \
     ./internal/probes/ >/dev/null
+go test -run '^$' -benchtime 1x -bench '^BenchmarkDetectorHotPath$' \
+    ./internal/control/ >/dev/null
 go test -run '^$' -benchtime 1x -bench '^BenchmarkFleetEpochs$' \
     ./internal/fleet/ >/dev/null
 
@@ -156,6 +163,29 @@ if ! diff -u internal/harness/testdata/golden/waitstates.txt "$wsdir/ws.out"; th
 fi
 echo "   wait-state sweep vs golden: byte-identical"
 rm -rf "$wsdir"
+
+echo "== attribution smoke (fault matrix vs golden)"
+# The closed-loop control path's end-to-end contract against the real
+# binary: the quick supervised attribution matrix (online detector +
+# cause attributor over injected faults, scored against ground truth)
+# must match the checked-in rendering byte-for-byte. `make golden`
+# regenerates the fixture after an intentional change.
+atdir=$(mktemp -d)
+go build -o "$atdir/reqlens" ./cmd/reqlens
+"$atdir/reqlens" attribution -quick -trials 2 >"$atdir/attr.out"
+if ! diff -u internal/harness/testdata/golden/attribution.txt "$atdir/attr.out"; then
+    echo "attribution output diverged from golden (make golden if intentional)" >&2
+    rm -rf "$atdir"
+    exit 1
+fi
+"$atdir/reqlens" autoscale -quick >"$atdir/auto.out"
+if ! diff -u internal/harness/testdata/golden/autoscale.txt "$atdir/auto.out"; then
+    echo "autoscale output diverged from golden (make golden if intentional)" >&2
+    rm -rf "$atdir"
+    exit 1
+fi
+echo "   attribution matrix + autoscale vs golden: byte-identical"
+rm -rf "$atdir"
 
 echo "== resilience smoke (kill -9 mid-sweep, resume, diff)"
 # The supervision stack's end-to-end contract, exercised against the
